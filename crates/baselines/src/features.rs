@@ -1,0 +1,166 @@
+//! Hand-crafted column features in the spirit of Sherlock (KDD'19).
+//!
+//! Sherlock extracts character-level statistics, word statistics, and
+//! aggregated embeddings per column; this module reproduces the same
+//! families at reduced dimensionality: character/shape statistics, hashed
+//! bag-of-words over cell tokens, and hashed header tokens. Sato appends
+//! table-level topic features, reproduced here as a hashed bag-of-words
+//! over the entire table's text.
+
+use explainti_tokenizer::normalize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Dimensionality of the character/shape statistics block.
+pub const STAT_DIM: usize = 8;
+/// Dimensionality of the hashed cell bag-of-words block.
+pub const CELL_HASH_DIM: usize = 20;
+/// Dimensionality of the hashed header block.
+pub const HEADER_HASH_DIM: usize = 8;
+/// Total per-column feature dimensionality.
+pub const COLUMN_DIM: usize = STAT_DIM + CELL_HASH_DIM + HEADER_HASH_DIM;
+/// Dimensionality of Sato's table-topic block.
+pub const TOPIC_DIM: usize = 16;
+
+fn bucket(word: &str, dim: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    word.hash(&mut h);
+    (h.finish() as usize) % dim
+}
+
+/// Normalised hashed bag-of-words.
+fn hashed_bow(texts: &[&str], dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    let mut total = 0.0f32;
+    for text in texts {
+        for w in normalize(text) {
+            out[bucket(&w, dim)] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total > 0.0 {
+        for v in &mut out {
+            *v /= total;
+        }
+    }
+    out
+}
+
+/// Character/shape statistics over the cell values.
+fn shape_stats(cells: &[&str]) -> Vec<f32> {
+    if cells.is_empty() {
+        return vec![0.0; STAT_DIM];
+    }
+    let n = cells.len() as f32;
+    let lens: Vec<f32> = cells.iter().map(|c| c.chars().count() as f32).collect();
+    let mean_len = lens.iter().sum::<f32>() / n;
+    let var_len = lens.iter().map(|l| (l - mean_len) * (l - mean_len)).sum::<f32>() / n;
+    let mut digit = 0.0f32;
+    let mut alpha = 0.0f32;
+    let mut space = 0.0f32;
+    let mut chars = 0.0f32;
+    for c in cells {
+        for ch in c.chars() {
+            chars += 1.0;
+            if ch.is_ascii_digit() {
+                digit += 1.0;
+            } else if ch.is_alphabetic() {
+                alpha += 1.0;
+            } else if ch == ' ' {
+                space += 1.0;
+            }
+        }
+    }
+    let chars = chars.max(1.0);
+    let distinct: HashSet<&&str> = cells.iter().collect();
+    let words_per_cell =
+        cells.iter().map(|c| normalize(c).len() as f32).sum::<f32>() / n;
+    vec![
+        mean_len / 32.0,
+        var_len.sqrt() / 16.0,
+        digit / chars,
+        alpha / chars,
+        space / chars,
+        distinct.len() as f32 / n,
+        words_per_cell / 8.0,
+        (n / 32.0).min(1.0),
+    ]
+}
+
+/// Sherlock's per-column feature vector (`COLUMN_DIM` values in `[0, 1]`-ish
+/// ranges).
+pub fn column_features(header: &str, cells: &[&str]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(COLUMN_DIM);
+    out.extend(shape_stats(cells));
+    out.extend(hashed_bow(cells, CELL_HASH_DIM));
+    out.extend(hashed_bow(&[header], HEADER_HASH_DIM));
+    out
+}
+
+/// Sato's table-topic features: hashed bag-of-words over the title plus
+/// every cell of every column in the table.
+pub fn topic_features(title: &str, all_cells: &[&str]) -> Vec<f32> {
+    let mut texts = vec![title];
+    texts.extend_from_slice(all_cells);
+    hashed_bow(&texts, TOPIC_DIM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_features_have_fixed_dim() {
+        let f = column_features("player", &["les jepsen", "bo kimble"]);
+        assert_eq!(f.len(), COLUMN_DIM);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_column_is_safe() {
+        let f = column_features("", &[]);
+        assert_eq!(f.len(), COLUMN_DIM);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn numeric_columns_have_high_digit_ratio() {
+        let nums = column_features("year", &["1990", "1991", "2004"]);
+        let text = column_features("name", &["maria delgado", "henrik olsen"]);
+        // digit ratio is stat index 2.
+        assert!(nums[2] > 0.9);
+        assert!(text[2] < 0.1);
+    }
+
+    #[test]
+    fn same_content_same_features() {
+        let a = column_features("h", &["x", "y"]);
+        let b = column_features("h", &["x", "y"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_headers_differ_in_header_block() {
+        // Hash collisions are possible at the reduced dimensionality, so
+        // require only that *some* header pair separates.
+        let a = column_features("country", &["kenya"]);
+        let mut separated = false;
+        for other in ["player", "team", "album", "director", "currency"] {
+            let b = column_features(other, &["kenya"]);
+            assert_eq!(a[..STAT_DIM + CELL_HASH_DIM], b[..STAT_DIM + CELL_HASH_DIM]);
+            if a[STAT_DIM + CELL_HASH_DIM..] != b[STAT_DIM + CELL_HASH_DIM..] {
+                separated = true;
+            }
+        }
+        assert!(separated, "no header pair separated in the hashed block");
+    }
+
+    #[test]
+    fn topic_features_are_a_distribution() {
+        let t = topic_features("1990 nba draft", &["les jepsen", "warriors"]);
+        assert_eq!(t.len(), TOPIC_DIM);
+        let sum: f32 = t.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+}

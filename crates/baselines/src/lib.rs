@@ -1,0 +1,26 @@
+//! # explainti-baselines
+//!
+//! Every baseline of the paper's evaluation, re-implemented from scratch
+//! with its distinguishing mechanism intact (DESIGN.md §2):
+//!
+//! * **Sherlock / Sato** — hand-crafted feature MLPs ([`SherlockModel`]);
+//! * **TaBERT / TURL / Doduo / TCN** — transformer classifiers differing
+//!   in serialised context ([`SeqClassifier`] + [`ContextStrategy`]);
+//! * **SelfExplain** — segment-concept LE + GE, no structural view
+//!   ([`build_selfexplain`]);
+//! * **Saliency Map / Influence Functions** — post-hoc explainers over a
+//!   trained classifier ([`SeqClassifier::saliency`],
+//!   [`InfluenceExplainer`]).
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod posthoc;
+pub mod selfexplain;
+pub mod seqmodels;
+pub mod sherlock;
+
+pub use posthoc::{InfluenceExplainer, SalientToken};
+pub use selfexplain::{build_selfexplain, selfexplain_config};
+pub use seqmodels::{ContextStrategy, SeqClassifier, ValueIndex};
+pub use sherlock::{FeatureModel, SherlockModel};

@@ -1,0 +1,228 @@
+//! Sherlock (KDD'19) and Sato (VLDB'20) baselines.
+//!
+//! Sherlock is a feed-forward network over hand-crafted per-column
+//! features; Sato extends it with table-level topic features. Relations
+//! are predicted from the concatenated subject/object features, as in the
+//! paper's baseline adaptation ("we concatenate the embeddings of subject
+//! and object pair of columns").
+
+use crate::features::{column_features, topic_features, COLUMN_DIM, TOPIC_DIM};
+use explainti_core::TaskKind;
+use explainti_corpus::{Dataset, Split};
+use explainti_metrics::{f1_scores, F1Scores};
+use explainti_nn::{AdamW, Graph, Linear, LinearSchedule, ParamStore, Tensor};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Which feature set to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureModel {
+    /// Column features only.
+    Sherlock,
+    /// Column features + table topic features.
+    Sato,
+}
+
+struct FeatureTask {
+    kind: TaskKind,
+    features: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    splits: Vec<Split>,
+    num_classes: usize,
+    head: Linear,
+    hidden: Linear,
+}
+
+/// A trained Sherlock/Sato model over one dataset (both tasks when the
+/// dataset annotates relations).
+pub struct SherlockModel {
+    model: FeatureModel,
+    store: ParamStore,
+    tasks: Vec<FeatureTask>,
+    rng: SmallRng,
+    epochs: usize,
+    batch_size: usize,
+}
+
+fn table_cells(dataset: &Dataset, table: usize) -> Vec<&str> {
+    dataset.collection.tables[table]
+        .columns
+        .iter()
+        .flat_map(|c| c.cells.iter().map(String::as_str))
+        .collect()
+}
+
+impl SherlockModel {
+    /// Extracts features and initialises the MLPs.
+    pub fn new(dataset: &Dataset, model: FeatureModel, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let topic_dim = if model == FeatureModel::Sato { TOPIC_DIM } else { 0 };
+
+        let mut tasks = Vec::new();
+        {
+            // Column-type task.
+            let mut features = Vec::new();
+            let mut labels = Vec::new();
+            let mut splits = Vec::new();
+            for (cref, label) in dataset.collection.annotated_columns() {
+                let table = &dataset.collection.tables[cref.table];
+                let col = &table.columns[cref.col];
+                let mut f = column_features(&col.header, &col.cell_refs());
+                if model == FeatureModel::Sato {
+                    f.extend(topic_features(&table.title, &table_cells(dataset, cref.table)));
+                }
+                features.push(f);
+                labels.push(label);
+                splits.push(dataset.table_split[cref.table]);
+            }
+            let num_classes = dataset.collection.type_labels.len();
+            let in_dim = COLUMN_DIM + topic_dim;
+            tasks.push(FeatureTask {
+                kind: TaskKind::Type,
+                hidden: Linear::new(&mut store, "sherlock.type.h", in_dim, 64, &mut rng),
+                head: Linear::new(&mut store, "sherlock.type.out", 64, num_classes, &mut rng),
+                features,
+                labels,
+                splits,
+                num_classes,
+            });
+        }
+        if !dataset.collection.annotated_pairs().is_empty() {
+            let mut features = Vec::new();
+            let mut labels = Vec::new();
+            let mut splits = Vec::new();
+            for (pref, label) in dataset.collection.annotated_pairs() {
+                let table = &dataset.collection.tables[pref.table];
+                let (s, o) = (&table.columns[pref.subject], &table.columns[pref.object]);
+                let mut f = column_features(&s.header, &s.cell_refs());
+                f.extend(column_features(&o.header, &o.cell_refs()));
+                if model == FeatureModel::Sato {
+                    f.extend(topic_features(&table.title, &table_cells(dataset, pref.table)));
+                }
+                features.push(f);
+                labels.push(label);
+                splits.push(dataset.table_split[pref.table]);
+            }
+            let num_classes = dataset.collection.relation_labels.len();
+            let in_dim = 2 * COLUMN_DIM + topic_dim;
+            tasks.push(FeatureTask {
+                kind: TaskKind::Relation,
+                hidden: Linear::new(&mut store, "sherlock.rel.h", in_dim, 64, &mut rng),
+                head: Linear::new(&mut store, "sherlock.rel.out", 64, num_classes, &mut rng),
+                features,
+                labels,
+                splits,
+                num_classes,
+            });
+        }
+
+        Self { model, store, tasks, rng, epochs: 30, batch_size: 32 }
+    }
+
+    /// The display name for report tables.
+    pub fn name(&self) -> &'static str {
+        match self.model {
+            FeatureModel::Sherlock => "Sherlock",
+            FeatureModel::Sato => "Sato",
+        }
+    }
+
+    /// Whether the model has the given task.
+    pub fn supports(&self, kind: TaskKind) -> bool {
+        self.tasks.iter().any(|t| t.kind == kind)
+    }
+
+    fn batch_tensor(task: &FeatureTask, idxs: &[usize]) -> (Tensor, Vec<usize>) {
+        let dim = task.features[0].len();
+        let mut m = Tensor::zeros(idxs.len(), dim);
+        let mut labels = Vec::with_capacity(idxs.len());
+        for (r, &i) in idxs.iter().enumerate() {
+            m.row_slice_mut(r).copy_from_slice(&task.features[i]);
+            labels.push(task.labels[i]);
+        }
+        (m, labels)
+    }
+
+    /// Trains both task MLPs; returns wall-clock time.
+    pub fn train(&mut self) -> Duration {
+        let t0 = Instant::now();
+        let total_steps: usize = self
+            .tasks
+            .iter()
+            .map(|t| (t.labels.len() / self.batch_size + 1) * self.epochs)
+            .sum();
+        let mut opt = AdamW::new(LinearSchedule::new(3e-3, 5, total_steps));
+        for _epoch in 0..self.epochs {
+            for ti in 0..self.tasks.len() {
+                let mut order: Vec<usize> = (0..self.tasks[ti].labels.len())
+                    .filter(|&i| self.tasks[ti].splits[i] == Split::Train)
+                    .collect();
+                order.shuffle(&mut self.rng);
+                for chunk in order.chunks(self.batch_size) {
+                    let (batch, labels) = Self::batch_tensor(&self.tasks[ti], chunk);
+                    let mut g = Graph::new();
+                    let x = g.input(batch);
+                    let h = self.tasks[ti].hidden.forward(&mut g, &self.store, x);
+                    let a = g.relu(h);
+                    let logits = self.tasks[ti].head.forward(&mut g, &self.store, a);
+                    let loss = g.cross_entropy(logits, &labels);
+                    g.backward(loss);
+                    g.flush_grads(&mut self.store);
+                    opt.step(&mut self.store);
+                }
+            }
+        }
+        t0.elapsed()
+    }
+
+    /// Evaluates one task on a split.
+    pub fn evaluate(&mut self, kind: TaskKind, split: Split) -> F1Scores {
+        let ti = self
+            .tasks
+            .iter()
+            .position(|t| t.kind == kind)
+            .expect("task not registered");
+        let task = &self.tasks[ti];
+        let idxs: Vec<usize> = (0..task.labels.len())
+            .filter(|&i| task.splits[i] == split)
+            .collect();
+        let (batch, labels) = Self::batch_tensor(task, &idxs);
+        let mut g = Graph::new();
+        let x = g.input(batch);
+        let h = task.hidden.forward(&mut g, &self.store, x);
+        let a = g.relu(h);
+        let logits = task.head.forward(&mut g, &self.store, a);
+        let preds: Vec<usize> = (0..idxs.len())
+            .map(|r| g.value(logits).argmax_row(r))
+            .collect();
+        f1_scores(&preds, &labels, task.num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explainti_corpus::{generate_wiki, WikiConfig};
+
+    #[test]
+    fn sherlock_learns_the_type_task() {
+        let d = generate_wiki(&WikiConfig { num_tables: 120, seed: 41, ..Default::default() });
+        let mut m = SherlockModel::new(&d, FeatureModel::Sherlock, 1);
+        m.train();
+        let f1 = m.evaluate(TaskKind::Type, Split::Test);
+        assert!(f1.micro > 0.3, "Sherlock test micro-F1 {}", f1.micro);
+    }
+
+    #[test]
+    fn sato_has_topic_features_and_supports_relations() {
+        let d = generate_wiki(&WikiConfig { num_tables: 60, seed: 42, ..Default::default() });
+        let m = SherlockModel::new(&d, FeatureModel::Sato, 1);
+        assert_eq!(m.name(), "Sato");
+        assert!(m.supports(TaskKind::Relation));
+        assert_eq!(m.tasks[0].features[0].len(), COLUMN_DIM + TOPIC_DIM);
+        assert_eq!(m.tasks[1].features[0].len(), 2 * COLUMN_DIM + TOPIC_DIM);
+    }
+}

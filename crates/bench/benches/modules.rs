@@ -1,0 +1,47 @@
+//! Criterion bench: per-sample inference cost of each explainable module
+//! (the test-time half of Table V) — Base, +LE, +GE, +SE and full
+//! ExplainTI prediction on a small Wiki corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use explainti_core::{ExplainTi, ExplainTiConfig, TaskKind};
+use explainti_corpus::{generate_wiki, WikiConfig};
+use std::hint::black_box;
+
+fn build(le: bool, ge: bool, se: bool) -> ExplainTi {
+    let d = generate_wiki(&WikiConfig { num_tables: 80, seed: 91, ..Default::default() });
+    let mut cfg = ExplainTiConfig::bert_like(2048, 32);
+    cfg.use_le = le;
+    cfg.use_ge = ge;
+    cfg.use_se = se;
+    let mut m = ExplainTi::new(&d, cfg);
+    if ge || se {
+        m.refresh_store(0);
+    }
+    m
+}
+
+fn bench_modules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_modules");
+    group.sample_size(20);
+    for (name, le, ge, se) in [
+        ("base", false, false, false),
+        ("base_le", true, false, false),
+        ("base_ge", false, true, false),
+        ("base_se", false, false, true),
+        ("full", true, true, true),
+    ] {
+        let mut m = build(le, ge, se);
+        let mut idx = 0usize;
+        let n = m.tasks()[0].data.samples.len();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                idx = (idx + 1) % n;
+                black_box(m.predict(TaskKind::Type, idx).label)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modules);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: GE retrieval — HNSW vs brute-force top-K search over
+//! the embedding store (the component Table V attributes GE's cost to,
+//! and the HNSW-vs-exact ablation of DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use explainti_ann::{BruteForceIndex, HnswConfig, HnswIndex, Metric, VectorIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let dim = 32;
+    let n = 2000;
+    let vectors = random_vectors(n, dim, 1);
+    let queries = random_vectors(64, dim, 2);
+
+    let mut hnsw = HnswIndex::new(Metric::Cosine, HnswConfig::default());
+    let mut exact = BruteForceIndex::new(Metric::Cosine);
+    for (i, v) in vectors.iter().enumerate() {
+        hnsw.add(i, v);
+        exact.add(i, v);
+    }
+
+    let mut group = c.benchmark_group("ge_retrieval");
+    group.sample_size(20);
+    group.bench_function("hnsw_top10", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            black_box(hnsw.search(q, 10))
+        })
+    });
+    group.bench_function("brute_force_top10", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            black_box(exact.search(q, 10))
+        })
+    });
+    group.bench_function("hnsw_build_500", |b| {
+        let small = random_vectors(500, dim, 3);
+        b.iter_batched(
+            || small.clone(),
+            |vs| {
+                let mut idx = HnswIndex::new(Metric::Cosine, HnswConfig::default());
+                for (i, v) in vs.iter().enumerate() {
+                    idx.add(i, v);
+                }
+                black_box(idx.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

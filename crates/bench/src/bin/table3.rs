@@ -1,0 +1,243 @@
+//! Reproduces **Table III** — table interpretation performance of every
+//! baseline, ExplainTI on both encoder variants, and the four ablation
+//! rows (`w/o LE`, `w/o GE`, `w/o SE`, `w PP`), across Wiki-type,
+//! Wiki-relation, and Git-type with F1-micro/-macro/-weighted.
+//!
+//! Expected shape (paper): Sherlock/Sato ≪ transformer baselines ≤
+//! ExplainTI; TCN collapses on GitTable; `w/o SE` is the costliest
+//! ablation on WikiTable and near-neutral on GitTable.
+//!
+//! Set `EXPLAINTI_FAST=1` to skip the ablation and RoBERTa rows.
+
+use explainti_baselines::{build_selfexplain, ContextStrategy, FeatureModel, SeqClassifier, SherlockModel};
+use explainti_bench::{
+    dash_cells, explainti_config, f1_cells, git_dataset, pretrained_checkpoint, scale,
+    wiki_dataset, write_json, MAX_SEQ, VOCAB_CAP,
+};
+use explainti_core::{build_tokenizer, ExplainTi, TaskKind};
+use explainti_corpus::{Dataset, Split};
+use explainti_encoder::{EncoderConfig, Variant};
+use explainti_metrics::report::TextTable;
+use explainti_metrics::F1Scores;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The nine result cells of one Table III row.
+#[derive(Default)]
+struct Row {
+    wiki_type: Option<F1Scores>,
+    wiki_rel: Option<F1Scores>,
+    git_type: Option<F1Scores>,
+}
+
+fn log(msg: &str) {
+    eprintln!("[table3 +{:?}] {msg}", START.elapsed());
+}
+
+static START: std::sync::LazyLock<Instant> = std::sync::LazyLock::new(Instant::now);
+
+fn run_sherlock(model: FeatureModel, wiki: &Dataset, git: &Dataset) -> Row {
+    let mut row = Row::default();
+    let mut m = SherlockModel::new(wiki, model, 1);
+    m.train();
+    row.wiki_type = Some(m.evaluate(TaskKind::Type, Split::Test));
+    row.wiki_rel = Some(m.evaluate(TaskKind::Relation, Split::Test));
+    let mut g = SherlockModel::new(git, model, 1);
+    g.train();
+    row.git_type = Some(g.evaluate(TaskKind::Type, Split::Test));
+    row
+}
+
+fn run_seq(
+    strategy: ContextStrategy,
+    wiki: &Dataset,
+    git: &Dataset,
+    ckpts: &Ckpts,
+    epochs: usize,
+) -> Row {
+    let mut row = Row::default();
+    {
+        let tok = build_tokenizer(wiki, VOCAB_CAP);
+        let cfg = EncoderConfig::bert_like(tok.vocab_size(), MAX_SEQ);
+        let mut m = SeqClassifier::new(wiki, &tok, cfg, strategy, 1);
+        m.epochs = epochs;
+        m.load_encoder(&ckpts.wiki_bert);
+        m.train();
+        row.wiki_type = Some(m.evaluate(TaskKind::Type, Split::Test));
+        row.wiki_rel = Some(m.evaluate(TaskKind::Relation, Split::Test));
+    }
+    {
+        let tok = build_tokenizer(git, VOCAB_CAP);
+        let cfg = EncoderConfig::bert_like(tok.vocab_size(), MAX_SEQ);
+        let mut m = SeqClassifier::new(git, &tok, cfg, strategy, 1);
+        m.epochs = epochs;
+        m.load_encoder(&ckpts.git_bert);
+        m.train();
+        row.git_type = Some(m.evaluate(TaskKind::Type, Split::Test));
+    }
+    row
+}
+
+fn run_explainti(
+    wiki: &Dataset,
+    git: &Dataset,
+    variant: Variant,
+    ckpts: &Ckpts,
+    s: f64,
+    mutate: impl Fn(explainti_core::ExplainTiConfig) -> explainti_core::ExplainTiConfig,
+) -> Row {
+    let mut row = Row::default();
+    {
+        let cfg = mutate(explainti_config(variant, s));
+        let mut m = ExplainTi::new(wiki, cfg);
+        m.load_encoder(ckpts.get(variant, true));
+        m.train();
+        row.wiki_type = Some(m.evaluate(TaskKind::Type, Split::Test));
+        row.wiki_rel = Some(m.evaluate(TaskKind::Relation, Split::Test));
+    }
+    {
+        let cfg = mutate(explainti_config(variant, s));
+        let mut m = ExplainTi::new(git, cfg);
+        m.load_encoder(ckpts.get(variant, false));
+        m.train();
+        row.git_type = Some(m.evaluate(TaskKind::Type, Split::Test));
+    }
+    row
+}
+
+struct Ckpts {
+    wiki_bert: Vec<f32>,
+    wiki_roberta: Vec<f32>,
+    git_bert: Vec<f32>,
+    git_roberta: Vec<f32>,
+}
+
+impl Ckpts {
+    fn get(&self, variant: Variant, wiki: bool) -> &[f32] {
+        match (variant, wiki) {
+            (Variant::BertLike, true) => &self.wiki_bert,
+            (Variant::RobertaLike, true) => &self.wiki_roberta,
+            (Variant::BertLike, false) => &self.git_bert,
+            (Variant::RobertaLike, false) => &self.git_roberta,
+        }
+    }
+}
+
+fn main() {
+    let s = scale();
+    let fast = std::env::var("EXPLAINTI_FAST").is_ok();
+    println!("Table III — table interpretation performance  [scale {s}]");
+    log("generating corpora");
+    let wiki = wiki_dataset(s);
+    let git = git_dataset(s);
+    let epochs = explainti_config(Variant::BertLike, s).epochs;
+
+    log("pre-training encoder checkpoints");
+    let ckpts = Ckpts {
+        wiki_bert: pretrained_checkpoint(&wiki, Variant::BertLike),
+        wiki_roberta: if fast { Vec::new() } else { pretrained_checkpoint(&wiki, Variant::RobertaLike) },
+        git_bert: pretrained_checkpoint(&git, Variant::BertLike),
+        git_roberta: if fast { Vec::new() } else { pretrained_checkpoint(&git, Variant::RobertaLike) },
+    };
+
+    let mut rows: Vec<(String, Row)> = Vec::new();
+
+    log("Sherlock");
+    rows.push(("Sherlock".into(), run_sherlock(FeatureModel::Sherlock, &wiki, &git)));
+    log("Sato");
+    rows.push(("Sato".into(), run_sherlock(FeatureModel::Sato, &wiki, &git)));
+    for strategy in [
+        ContextStrategy::ContentSnapshot,
+        ContextStrategy::RowStructure,
+        ContextStrategy::PerColumn,
+        ContextStrategy::ValueSharing,
+    ] {
+        log(strategy.model_name());
+        rows.push((strategy.model_name().into(), run_seq(strategy, &wiki, &git, &ckpts, epochs)));
+    }
+
+    log("SelfExplain");
+    {
+        let mut row = Row::default();
+        let cfg = explainti_config(Variant::BertLike, s);
+        let mut m = build_selfexplain(&wiki, cfg.clone());
+        m.load_encoder(&ckpts.wiki_bert);
+        m.train();
+        row.wiki_type = Some(m.evaluate(TaskKind::Type, Split::Test));
+        row.wiki_rel = Some(m.evaluate(TaskKind::Relation, Split::Test));
+        let mut g = build_selfexplain(&git, cfg);
+        g.load_encoder(&ckpts.git_bert);
+        g.train();
+        row.git_type = Some(g.evaluate(TaskKind::Type, Split::Test));
+        rows.push(("SelfExplain".into(), row));
+    }
+
+    let variants: &[Variant] = if fast {
+        &[Variant::BertLike]
+    } else {
+        &[Variant::BertLike, Variant::RobertaLike]
+    };
+    for &variant in variants {
+        let vname = match variant {
+            Variant::BertLike => "BERT",
+            Variant::RobertaLike => "RoBERTa",
+        };
+        log(&format!("ExplainTI-{vname}"));
+        rows.push((
+            format!("ExplainTI-{vname}"),
+            run_explainti(&wiki, &git, variant, &ckpts, s, |c| c),
+        ));
+        if !fast {
+            log(&format!("ExplainTI-{vname} ablations"));
+            rows.push((
+                format!("  w/o LE ({vname})"),
+                run_explainti(&wiki, &git, variant, &ckpts, s, |c| c.without("le")),
+            ));
+            rows.push((
+                format!("  w/o GE ({vname})"),
+                run_explainti(&wiki, &git, variant, &ckpts, s, |c| c.without("ge")),
+            ));
+            rows.push((
+                format!("  w/o SE ({vname})"),
+                run_explainti(&wiki, &git, variant, &ckpts, s, |c| c.without("se")),
+            ));
+            rows.push((
+                format!("  w PP ({vname})"),
+                run_explainti(&wiki, &git, variant, &ckpts, s, |c| {
+                    let mut c = c;
+                    c.use_pp = true;
+                    c
+                }),
+            ));
+        }
+    }
+
+    let mut t = TextTable::new([
+        "Method",
+        "WikiType-miF1", "WikiType-maF1", "WikiType-wF1",
+        "WikiRel-miF1", "WikiRel-maF1", "WikiRel-wF1",
+        "GitType-miF1", "GitType-maF1", "GitType-wF1",
+    ]);
+    let mut json = BTreeMap::new();
+    for (name, row) in &rows {
+        let wt = row.wiki_type.map(f1_cells).unwrap_or_else(dash_cells);
+        let wr = row.wiki_rel.map(f1_cells).unwrap_or_else(dash_cells);
+        let gt = row.git_type.map(f1_cells).unwrap_or_else(dash_cells);
+        let mut cells = vec![name.clone()];
+        cells.extend(wt);
+        cells.extend(wr);
+        cells.extend(gt);
+        t.row(cells);
+        json.insert(
+            name.clone(),
+            serde_json::json!({
+                "wiki_type": row.wiki_type.map(|f| [f.micro, f.macro_, f.weighted]),
+                "wiki_relation": row.wiki_rel.map(|f| [f.micro, f.macro_, f.weighted]),
+                "git_type": row.git_type.map(|f| [f.micro, f.macro_, f.weighted]),
+            }),
+        );
+    }
+    println!("{}", t.render());
+    write_json("table3", &serde_json::to_value(json).unwrap());
+    log("done");
+}

@@ -1,0 +1,118 @@
+//! Reproduces **Table V** — efficiency analysis: training and test time
+//! of Base (no explainable modules), Base+LE, Base+GE, Base+SE, and full
+//! ExplainTI on Wiki-Type, Wiki-Relation and Git-Type.
+//!
+//! Expected shape: LE and SE barely increase training time, GE adds the
+//! most (store refresh + retrieval); every module adds seconds of test
+//! time; full ExplainTI pays the sum.
+
+use explainti_bench::{explainti_config, git_dataset, scale, wiki_dataset, write_json};
+use explainti_core::{ExplainTi, ExplainTiConfig, TaskKind};
+use explainti_corpus::{Dataset, Split};
+use explainti_encoder::Variant;
+use explainti_metrics::{fmt_duration, report::TextTable};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+fn variant_cfg(base: ExplainTiConfig, le: bool, ge: bool, se: bool) -> ExplainTiConfig {
+    let mut cfg = base;
+    cfg.use_le = le;
+    cfg.use_ge = ge;
+    cfg.use_se = se;
+    cfg
+}
+
+/// Train + test wall clock per task for one configuration.
+fn measure(dataset: &Dataset, cfg: ExplainTiConfig) -> Vec<(TaskKind, Duration, Duration)> {
+    let mut m = ExplainTi::new(dataset, cfg);
+    let report = m.train();
+    let kinds: Vec<TaskKind> = m.tasks().iter().map(|t| t.data.kind).collect();
+    let mut out = Vec::new();
+    for kind in kinds {
+        let train_time: Duration = report
+            .epochs
+            .iter()
+            .filter(|e| e.task == kind)
+            .map(|e| e.elapsed)
+            .sum();
+        // Test time = producing predictions WITH explanations over the
+        // test split, which is what the paper's Table V charges each
+        // explainable module for.
+        let test_idx = {
+            let task = m.task_index(kind).unwrap();
+            m.tasks()[task].data.test_idx.clone()
+        };
+        let t0 = Instant::now();
+        for idx in test_idx {
+            let _ = m.predict(kind, idx);
+        }
+        out.push((kind, train_time, t0.elapsed()));
+    }
+    out
+}
+
+fn main() {
+    let s = scale();
+    println!("Table V — efficiency analysis  [scale {s}]");
+    let wiki = wiki_dataset(s);
+    let git = git_dataset(s);
+
+    let configs: [(&str, bool, bool, bool); 5] = [
+        ("Base", false, false, false),
+        ("Base+LE", true, false, false),
+        ("Base+GE", false, true, false),
+        ("Base+SE", false, false, true),
+        ("ExplainTI", true, true, true),
+    ];
+
+    // method -> column -> (train, test)
+    let mut cells: BTreeMap<&str, BTreeMap<String, (Duration, Duration)>> = BTreeMap::new();
+    for (name, le, ge, se) in configs {
+        eprintln!("[table5] {name}");
+        let base = explainti_config(Variant::BertLike, s);
+        for (dataset, prefix) in [(&wiki, "Wiki"), (&git, "Git")] {
+            let results = measure(dataset, variant_cfg(base.clone(), le, ge, se));
+            for (kind, train, test) in results {
+                let col = format!(
+                    "{prefix}-{}",
+                    match kind {
+                        TaskKind::Type => "Type",
+                        TaskKind::Relation => "Relation",
+                    }
+                );
+                cells.entry(name).or_default().insert(col, (train, test));
+            }
+        }
+    }
+
+    let columns = ["Wiki-Type", "Wiki-Relation", "Git-Type"];
+    let mut header = vec!["Method".to_string()];
+    for c in columns {
+        header.push(format!("{c} train"));
+        header.push(format!("{c} test"));
+    }
+    let mut t = TextTable::new(header);
+    let mut json = BTreeMap::new();
+    for (name, _, _, _) in configs {
+        let row_data = &cells[name];
+        let mut row = vec![name.to_string()];
+        let mut jrow = BTreeMap::new();
+        for c in columns {
+            match row_data.get(c) {
+                Some((train, test)) => {
+                    row.push(fmt_duration(*train));
+                    row.push(fmt_duration(*test));
+                    jrow.insert(c, (train.as_secs_f64(), test.as_secs_f64()));
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        t.row(row);
+        json.insert(name, serde_json::to_value(jrow).unwrap());
+    }
+    println!("{}", t.render());
+    write_json("table5", &serde_json::to_value(json).unwrap());
+}

@@ -1,0 +1,215 @@
+//! Task data preparation: serialised samples aligned with column graphs.
+//!
+//! Sample `i` of a task corresponds to node `i` of that task's column
+//! graph (the alignment `explainti-table` guarantees), which is what lets
+//! the SE module translate sampled graph neighbours into embedding-store
+//! lookups.
+
+use crate::config::TaskKind;
+use explainti_corpus::{Dataset, Split};
+use explainti_table::ColumnGraph;
+use explainti_tokenizer::{encode_column, encode_column_pair, Encoded, Tokenizer};
+
+/// One serialised training/evaluation instance.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Fixed-length token sequence.
+    pub encoded: Encoded,
+    /// Ground-truth label.
+    pub label: usize,
+    /// Which split the sample belongs to.
+    pub split: Split,
+}
+
+/// All samples of one task plus its graph and split indices.
+pub struct TaskData {
+    /// The task this data serves.
+    pub kind: TaskKind,
+    /// Samples in graph-node order.
+    pub samples: Vec<Sample>,
+    /// Number of label classes.
+    pub num_classes: usize,
+    /// The column (pair) graph over *all* samples.
+    pub graph: ColumnGraph,
+    /// Train-sample indices.
+    pub train_idx: Vec<usize>,
+    /// Validation-sample indices.
+    pub valid_idx: Vec<usize>,
+    /// Test-sample indices.
+    pub test_idx: Vec<usize>,
+    /// Human-readable label names.
+    pub label_names: Vec<String>,
+}
+
+impl TaskData {
+    /// Serialises the column-type task of `dataset`.
+    pub fn prepare_type(dataset: &Dataset, tok: &Tokenizer, max_seq: usize, use_pp: bool) -> Self {
+        let (graph, refs) = ColumnGraph::build_type(&dataset.collection);
+        let annotated = dataset.collection.annotated_columns();
+        debug_assert_eq!(refs.len(), annotated.len());
+        let samples: Vec<Sample> = annotated
+            .iter()
+            .map(|(cref, label)| {
+                let table = &dataset.collection.tables[cref.table];
+                let col = &table.columns[cref.col];
+                let cells = if use_pp { col.unique_cells() } else { col.cell_refs() };
+                Sample {
+                    encoded: encode_column(tok, &table.title, &col.header, &cells, max_seq),
+                    label: *label,
+                    split: dataset.table_split[cref.table],
+                }
+            })
+            .collect();
+        let (train_idx, valid_idx, test_idx) = split_indices(&samples);
+        Self {
+            kind: TaskKind::Type,
+            num_classes: dataset.collection.type_labels.len(),
+            label_names: dataset.collection.type_labels.clone(),
+            samples,
+            graph,
+            train_idx,
+            valid_idx,
+            test_idx,
+        }
+    }
+
+    /// Serialises the column-relation task of `dataset`.
+    pub fn prepare_relation(dataset: &Dataset, tok: &Tokenizer, max_seq: usize, use_pp: bool) -> Self {
+        let (graph, refs) = ColumnGraph::build_relation(&dataset.collection);
+        let annotated = dataset.collection.annotated_pairs();
+        debug_assert_eq!(refs.len(), annotated.len());
+        let samples: Vec<Sample> = annotated
+            .iter()
+            .map(|(pref, label)| {
+                let table = &dataset.collection.tables[pref.table];
+                let (s, o) = (&table.columns[pref.subject], &table.columns[pref.object]);
+                let (cs, co) = if use_pp {
+                    (s.unique_cells(), o.unique_cells())
+                } else {
+                    (s.cell_refs(), o.cell_refs())
+                };
+                Sample {
+                    encoded: encode_column_pair(
+                        tok, &table.title, &s.header, &cs, &o.header, &co, max_seq,
+                    ),
+                    label: *label,
+                    split: dataset.table_split[pref.table],
+                }
+            })
+            .collect();
+        let (train_idx, valid_idx, test_idx) = split_indices(&samples);
+        Self {
+            kind: TaskKind::Relation,
+            num_classes: dataset.collection.relation_labels.len(),
+            label_names: dataset.collection.relation_labels.clone(),
+            samples,
+            graph,
+            train_idx,
+            valid_idx,
+            test_idx,
+        }
+    }
+
+    /// Sample indices for a split.
+    pub fn indices(&self, split: Split) -> &[usize] {
+        match split {
+            Split::Train => &self.train_idx,
+            Split::Valid => &self.valid_idx,
+            Split::Test => &self.test_idx,
+        }
+    }
+}
+
+fn split_indices(samples: &[Sample]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut train = Vec::new();
+    let mut valid = Vec::new();
+    let mut test = Vec::new();
+    for (i, s) in samples.iter().enumerate() {
+        match s.split {
+            Split::Train => train.push(i),
+            Split::Valid => valid.push(i),
+            Split::Test => test.push(i),
+        }
+    }
+    (train, valid, test)
+}
+
+/// Builds the tokenizer vocabulary from the *training* tables only (no
+/// test leakage into the vocabulary).
+pub fn build_tokenizer(dataset: &Dataset, max_vocab: usize) -> Tokenizer {
+    let mut texts: Vec<String> = Vec::new();
+    for (ti, table) in dataset.collection.tables.iter().enumerate() {
+        if dataset.table_split[ti] != Split::Train {
+            continue;
+        }
+        texts.push(table.title.clone());
+        for col in &table.columns {
+            texts.push(col.header.clone());
+            for cell in &col.cells {
+                texts.push(cell.clone());
+            }
+        }
+    }
+    Tokenizer::train(texts.iter().map(String::as_str), max_vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explainti_corpus::{generate_wiki, WikiConfig};
+
+    fn dataset() -> Dataset {
+        generate_wiki(&WikiConfig { num_tables: 60, seed: 13, ..Default::default() })
+    }
+
+    #[test]
+    fn type_task_aligns_samples_with_graph() {
+        let d = dataset();
+        let tok = build_tokenizer(&d, 2048);
+        let t = TaskData::prepare_type(&d, &tok, 32, false);
+        assert_eq!(t.samples.len(), t.graph.num_nodes());
+        assert_eq!(
+            t.samples.len(),
+            t.train_idx.len() + t.valid_idx.len() + t.test_idx.len()
+        );
+    }
+
+    #[test]
+    fn relation_task_aligns_samples_with_graph() {
+        let d = dataset();
+        let tok = build_tokenizer(&d, 2048);
+        let t = TaskData::prepare_relation(&d, &tok, 32, false);
+        assert_eq!(t.samples.len(), t.graph.num_nodes());
+        assert!(t.num_classes >= 2);
+        for s in &t.samples {
+            assert!(s.label < t.num_classes);
+        }
+    }
+
+    #[test]
+    fn pp_changes_serialisation_of_duplicated_cells() {
+        let mut d = dataset();
+        // Force duplicate cells into the first annotated column.
+        let (cref, _) = d.collection.annotated_columns()[0];
+        let col = &mut d.collection.tables[cref.table].columns[cref.col];
+        col.cells = vec!["dup".into(); 6];
+        let tok = build_tokenizer(&d, 2048);
+        let plain = TaskData::prepare_type(&d, &tok, 32, false);
+        let pp = TaskData::prepare_type(&d, &tok, 32, true);
+        assert!(pp.samples[0].encoded.len < plain.samples[0].encoded.len);
+    }
+
+    #[test]
+    fn tokenizer_uses_only_training_tables() {
+        let mut d = dataset();
+        // Inject a unique word into a test table; it must not enter vocab.
+        let test_table = d
+            .table_split
+            .iter()
+            .position(|&s| s == Split::Test)
+            .unwrap();
+        d.collection.tables[test_table].title = "zzzuniquemarker".to_string();
+        let tok = build_tokenizer(&d, 4096);
+        assert!(tok.id("zzzuniquemarker").is_none());
+    }
+}

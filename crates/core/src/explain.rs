@@ -1,0 +1,197 @@
+//! Multi-view explanation types — the `Z` of Definition 1/2.
+//!
+//! Everything is `serde`-serialisable so the verification front-end
+//! (ExplainTI⁺ in the paper, `examples/verification_queue.rs` here) can
+//! consume explanation bundles as JSON.
+
+use serde::{Deserialize, Serialize};
+
+/// One local explanation: a sliding window (pairwise windows for the
+/// relation task) with its relevance score `RS` (Eq. 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalSpan {
+    /// Window start position in the token sequence.
+    pub start: usize,
+    /// Window length (the configured `k`).
+    pub window: usize,
+    /// Start of the paired window in the second segment (relation task).
+    pub pair_start: Option<usize>,
+    /// Decoded window text (both windows joined for pairs).
+    pub text: String,
+    /// Relevance score, normalised over all windows of the sample.
+    pub relevance: f32,
+}
+
+/// One global explanation: an influential training sample (Eq. 4).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GlobalInfluence {
+    /// Index of the training sample in the task's sample list.
+    pub sample: usize,
+    /// Influence score `IS`, normalised over the retrieved top-K.
+    pub influence: f32,
+    /// The training sample's label.
+    pub label: usize,
+}
+
+/// One structural explanation: an attended graph neighbour (Eq. 5).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StructuralNeighbor {
+    /// Graph node (= sample index) of the neighbour.
+    pub node: usize,
+    /// Attention score `AS`, normalised over the sampled neighbours.
+    pub attention: f32,
+    /// The neighbour's label.
+    pub label: usize,
+}
+
+/// The multi-view explanation bundle.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Local view, sorted by descending relevance.
+    pub local: Vec<LocalSpan>,
+    /// Global view, sorted by descending influence.
+    pub global: Vec<GlobalInfluence>,
+    /// Structural view, sorted by descending attention (duplicates from
+    /// with-replacement sampling are merged).
+    pub structural: Vec<StructuralNeighbor>,
+}
+
+impl Explanation {
+    /// The top-`k` local spans.
+    pub fn top_local(&self, k: usize) -> &[LocalSpan] {
+        &self.local[..k.min(self.local.len())]
+    }
+
+    /// The top-`k` *non-overlapping* local spans: walks the relevance
+    /// ranking and skips windows that overlap an already-selected one, so
+    /// the shown evidence covers `k` distinct regions rather than `k`
+    /// shifts of the same phrase. This is what the verification UI and
+    /// the sufficiency evaluation display.
+    pub fn top_local_diverse(&self, k: usize) -> Vec<&LocalSpan> {
+        let mut picked: Vec<&LocalSpan> = Vec::with_capacity(k);
+        for span in &self.local {
+            if picked.len() >= k {
+                break;
+            }
+            let overlaps = picked.iter().any(|p| {
+                let disjoint = |a: &LocalSpan, s1: usize, b: &LocalSpan, s2: usize| {
+                    s1 + a.window <= s2 || s2 + b.window <= s1
+                };
+                let first = !disjoint(p, p.start, span, span.start);
+                let second = match (p.pair_start, span.pair_start) {
+                    (Some(ps), Some(ss)) => !disjoint(p, ps, span, ss),
+                    _ => false,
+                };
+                first || second
+            });
+            if !overlaps {
+                picked.push(span);
+            }
+        }
+        picked
+    }
+
+    /// The top-`k` global influences.
+    pub fn top_global(&self, k: usize) -> &[GlobalInfluence] {
+        &self.global[..k.min(self.global.len())]
+    }
+
+    /// The top-`k` structural neighbours.
+    pub fn top_structural(&self, k: usize) -> &[StructuralNeighbor] {
+        &self.structural[..k.min(self.structural.len())]
+    }
+}
+
+/// A prediction together with its explanations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted label index.
+    pub label: usize,
+    /// Softmax confidence of the predicted label.
+    pub confidence: f32,
+    /// Full label distribution (softmax of the final logits).
+    pub probs: Vec<f32>,
+    /// Multi-view explanations for the prediction.
+    pub explanation: Explanation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_never_exceeds_length() {
+        let e = Explanation {
+            local: vec![LocalSpan {
+                start: 0,
+                window: 4,
+                pair_start: None,
+                text: "x".into(),
+                relevance: 1.0,
+            }],
+            global: vec![],
+            structural: vec![],
+        };
+        assert_eq!(e.top_local(5).len(), 1);
+        assert_eq!(e.top_global(3).len(), 0);
+    }
+
+    #[test]
+    fn diverse_selection_skips_overlaps() {
+        let span = |start: usize, relevance: f32| LocalSpan {
+            start,
+            window: 4,
+            pair_start: None,
+            text: String::new(),
+            relevance,
+        };
+        let e = Explanation {
+            // Ranked: 10, 11 (overlaps 10), 2, 12 (overlaps 10/11), 20.
+            local: vec![span(10, 0.5), span(11, 0.3), span(2, 0.1), span(12, 0.06), span(20, 0.04)],
+            global: vec![],
+            structural: vec![],
+        };
+        let picked = e.top_local_diverse(3);
+        let starts: Vec<usize> = picked.iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![10, 2, 20]);
+    }
+
+    #[test]
+    fn diverse_selection_checks_pair_windows_too() {
+        let span = |start: usize, pair: usize, relevance: f32| LocalSpan {
+            start,
+            window: 4,
+            pair_start: Some(pair),
+            text: String::new(),
+            relevance,
+        };
+        let e = Explanation {
+            // Same first window region, overlapping pair windows.
+            local: vec![span(1, 16, 0.6), span(8, 17, 0.4), span(8, 24, 0.2)],
+            global: vec![],
+            structural: vec![],
+        };
+        let picked = e.top_local_diverse(3);
+        // Second span overlaps the first in the pair region? No: first
+        // windows 1..5 vs 8..12 are disjoint, pair windows 16..20 vs
+        // 17..21 overlap -> skipped; third (8..12, 24..28) overlaps
+        // nothing kept except window one? 8..12 disjoint from 1..5,
+        // 24..28 disjoint from 16..20 -> kept.
+        let starts: Vec<(usize, Option<usize>)> =
+            picked.iter().map(|s| (s.start, s.pair_start)).collect();
+        assert_eq!(starts, vec![(1, Some(16)), (8, Some(24))]);
+    }
+
+    #[test]
+    fn serialises_to_json() {
+        let p = Prediction {
+            label: 2,
+            confidence: 0.9,
+            probs: vec![0.05, 0.05, 0.9],
+            explanation: Explanation::default(),
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Prediction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label, 2);
+    }
+}

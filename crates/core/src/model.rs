@@ -1,0 +1,750 @@
+//! The ExplainTI model: encoder + per-task heads + the three explanation
+//! modules (Algorithms 1, 2 and 4 of the paper).
+//!
+//! Design notes on faithfulness to the paper:
+//!
+//! * **LE (Algorithm 1)** — each window's `t_j` is the mean embedding of
+//!   the live positions *outside* the window ("the representation of the
+//!   sample without each window", as Algorithm 1 describes), scored by
+//!   `KL(softmax(s_j) ‖ softmax(logits))` and normalised into relevance
+//!   scores `RS_j` (Eq. 3). `RS_j` enters the graph as a constant (no
+//!   gradient through the KL), and the local logits are the RS-weighted
+//!   sum of the window logits `s_j`; the paper aggregates the σ-activated
+//!   scores — summing logits instead keeps the op set minimal (DESIGN.md).
+//! * **GE (Algorithm 2)** — cosine influence scores (Eq. 4) are computed
+//!   in-graph against ℓ2-normalised stored embeddings (norms detached), so
+//!   the GE loss shapes the encoder, with retrieval through the HNSW
+//!   index.
+//! * **SE (Algorithm 4)** — dot-product attention over `r` neighbours
+//!   sampled from the column graph, restricted to nodes present in the
+//!   embedding store; the attended context is concatenated with `E_[CLS]`
+//!   for the final classifier (Eq. 9). An isolated node falls back to
+//!   attending to itself.
+
+use crate::config::{ExplainTiConfig, TaskKind};
+use crate::data::{build_tokenizer, TaskData};
+use crate::explain::{Explanation, GlobalInfluence, LocalSpan, Prediction, StructuralNeighbor};
+use crate::store::EmbeddingStore;
+use explainti_corpus::{Dataset, Split};
+use explainti_encoder::TransformerEncoder;
+use explainti_metrics::{f1_scores, F1Scores};
+use explainti_nn::{softmax, kl_divergence, Graph, Linear, NodeId, ParamStore, Tensor};
+use explainti_tokenizer::Tokenizer;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-task classification heads (`W`, `W_l`, `W_g`, `W_s` in the paper).
+pub(crate) struct TaskHeads {
+    /// Base classifier over `E_[CLS]` (Eq. 1).
+    pub w: Linear,
+    /// Local-view scorer (Eq. 2).
+    pub w_l: Linear,
+    /// Global-view classifier (Eq. 8's `l_G`).
+    pub w_g: Linear,
+    /// Structural classifier over `[E_s ‖ E_[CLS]]` (Eq. 9).
+    pub w_s: Linear,
+}
+
+/// One task's data, heads, and embedding store.
+pub struct TaskState {
+    /// Serialised samples, graph and splits.
+    pub data: TaskData,
+    pub(crate) heads: TaskHeads,
+    /// The embedding store `Q` (training samples only).
+    pub q: EmbeddingStore,
+}
+
+/// Result of one sample's forward pass, used by training and prediction.
+pub(crate) struct SampleForward {
+    pub graph: Graph,
+    /// Final prediction logits (structural when SE is on, base otherwise).
+    pub final_logits: NodeId,
+    /// Local logits `l_L`, when LE is enabled and windows exist.
+    pub l_l: Option<NodeId>,
+    /// Global logits `l_G`, when GE is enabled and `Q` is non-empty.
+    pub l_g: Option<NodeId>,
+    pub local_spans: Vec<LocalSpan>,
+    pub global_infl: Vec<GlobalInfluence>,
+    pub structural: Vec<StructuralNeighbor>,
+}
+
+/// The end-to-end ExplainTI model.
+pub struct ExplainTi {
+    /// Model configuration (ablation switches included).
+    pub cfg: ExplainTiConfig,
+    /// The tokenizer (vocabulary from the training split).
+    pub tokenizer: Tokenizer,
+    pub(crate) store: ParamStore,
+    pub(crate) encoder: TransformerEncoder,
+    pub(crate) tasks: Vec<TaskState>,
+    pub(crate) rng: SmallRng,
+}
+
+impl ExplainTi {
+    /// Builds a model over `dataset`. `cfg.encoder.vocab_size` is treated
+    /// as a vocabulary *cap*; the actual size comes from the tokenizer.
+    ///
+    /// The relation task is registered only when the dataset annotates
+    /// pairs (GitTables does not).
+    pub fn new(dataset: &Dataset, mut cfg: ExplainTiConfig) -> Self {
+        let tokenizer = build_tokenizer(dataset, cfg.encoder.vocab_size);
+        cfg.encoder.vocab_size = tokenizer.vocab_size();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let encoder = TransformerEncoder::new(&mut store, cfg.encoder.clone(), &mut rng);
+        let d = encoder.d_model();
+
+        let mut tasks = Vec::new();
+        let type_data = TaskData::prepare_type(dataset, &tokenizer, cfg.encoder.max_seq, cfg.use_pp);
+        tasks.push(TaskState {
+            heads: TaskHeads {
+                w: Linear::new(&mut store, "type.w", d, type_data.num_classes, &mut rng),
+                w_l: Linear::new(&mut store, "type.w_l", d, type_data.num_classes, &mut rng),
+                w_g: Linear::new(&mut store, "type.w_g", d, type_data.num_classes, &mut rng),
+                w_s: Linear::new(&mut store, "type.w_s", 2 * d, type_data.num_classes, &mut rng),
+            },
+            q: EmbeddingStore::new(type_data.samples.len(), d),
+            data: type_data,
+        });
+        if !dataset.collection.annotated_pairs().is_empty() {
+            let rel_data =
+                TaskData::prepare_relation(dataset, &tokenizer, cfg.encoder.max_seq, cfg.use_pp);
+            tasks.push(TaskState {
+                heads: TaskHeads {
+                    w: Linear::new(&mut store, "rel.w", d, rel_data.num_classes, &mut rng),
+                    w_l: Linear::new(&mut store, "rel.w_l", d, rel_data.num_classes, &mut rng),
+                    w_g: Linear::new(&mut store, "rel.w_g", d, rel_data.num_classes, &mut rng),
+                    w_s: Linear::new(&mut store, "rel.w_s", 2 * d, rel_data.num_classes, &mut rng),
+                },
+                q: EmbeddingStore::new(rel_data.samples.len(), d),
+                data: rel_data,
+            });
+        }
+
+        Self { cfg, tokenizer, store, encoder, tasks, rng }
+    }
+
+    /// Registered tasks.
+    pub fn tasks(&self) -> &[TaskState] {
+        &self.tasks
+    }
+
+    /// Index of a task by kind, if registered.
+    pub fn task_index(&self, kind: TaskKind) -> Option<usize> {
+        self.tasks.iter().position(|t| t.data.kind == kind)
+    }
+
+    /// Total number of trainable weights (diagnostics).
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+
+    pub(crate) fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Masked-token pre-training of the encoder on the training-split
+    /// serialisations (the stand-in for loading a published BERT/RoBERTa
+    /// checkpoint; see DESIGN.md §2). Returns the final-epoch MLM loss.
+    pub fn pretrain(&mut self, cfg: &explainti_encoder::mlm::PretrainConfig) -> f32 {
+        let mut seqs = Vec::new();
+        for task in &self.tasks {
+            for &idx in &task.data.train_idx {
+                seqs.push(task.data.samples[idx].encoded.clone());
+            }
+        }
+        explainti_encoder::mlm::pretrain_mlm(&self.encoder, &mut self.store, &seqs, cfg, &mut self.rng)
+    }
+
+    /// Exports the encoder weights (to share a pre-trained checkpoint
+    /// across models built on the same tokenizer and encoder config).
+    pub fn export_encoder(&self) -> Vec<f32> {
+        self.encoder.export_weights(&self.store)
+    }
+
+    /// Imports encoder weights exported by [`Self::export_encoder`].
+    pub fn load_encoder(&mut self, checkpoint: &[f32]) {
+        self.encoder.import_weights(&mut self.store, checkpoint);
+    }
+
+    /// Runs the encoder over every training sample of `task` and rebuilds
+    /// the embedding store `Q` (Algorithm 2's initialisation/refresh).
+    pub fn refresh_store(&mut self, task: usize) {
+        let train: Vec<usize> = self.tasks[task].data.train_idx.clone();
+        for idx in train {
+            let enc = self.tasks[task].data.samples[idx].encoded.clone();
+            let label = self.tasks[task].data.samples[idx].label;
+            let cls = self.encoder.embed_cls(&self.store, &enc, &mut self.rng);
+            self.tasks[task].q.set(idx, cls, label);
+        }
+        self.tasks[task].q.rebuild_index();
+    }
+
+    /// Full forward pass over one sample, producing all logits and
+    /// explanation bundles.
+    pub(crate) fn forward_sample(
+        &mut self,
+        task: usize,
+        sample_idx: usize,
+        training: bool,
+    ) -> SampleForward {
+        let encoded = self.tasks[task].data.samples[sample_idx].encoded.clone();
+        self.forward_encoded(task, &encoded, Some(sample_idx), training, true)
+    }
+
+    /// Logits-only forward (no LE/GE work): LE and GE contribute training
+    /// losses and explanations but never the final logits, so evaluation
+    /// sweeps skip them. [`Self::predict`] keeps the full bundle.
+    fn forward_logits_only(&mut self, task: usize, sample_idx: usize) -> SampleForward {
+        let encoded = self.tasks[task].data.samples[sample_idx].encoded.clone();
+        self.forward_encoded(task, &encoded, Some(sample_idx), false, false)
+    }
+
+    /// Forward pass over an arbitrary encoded sequence. `node` is the
+    /// sample's column-graph node when it exists in the task data; ad-hoc
+    /// inputs (e.g. freshly ingested CSV columns) pass `None`, in which
+    /// case SE falls back to self-attention and GE retrieves without
+    /// self-exclusion.
+    pub(crate) fn forward_encoded(
+        &mut self,
+        task: usize,
+        encoded: &explainti_tokenizer::Encoded,
+        node: Option<usize>,
+        training: bool,
+        with_views: bool,
+    ) -> SampleForward {
+        let kind = self.tasks[task].data.kind;
+        let encoded = encoded.clone();
+        let mut g = Graph::new();
+        let emb = self
+            .encoder
+            .forward(&mut g, &self.store, &encoded, training, &mut self.rng);
+        let cls = self.encoder.cls(&mut g, emb);
+        let cls_value = g.value(cls).clone();
+
+        // Final prediction logits: the structural classifier (Eq. 9) when
+        // SE is enabled, otherwise the base classifier over E_[CLS]
+        // (Eq. 1). Computed first so LE's relevance scores compare window
+        // distributions against the *actual* prediction distribution.
+        let (final_logits, structural) = if self.cfg.use_se {
+            self.structural_explanations(task, &mut g, cls, &cls_value, node, training)
+        } else {
+            let base = self.tasks[task].heads.w.forward(&mut g, &self.store, cls);
+            (base, Vec::new())
+        };
+
+        // --- LE: Algorithm 1 -------------------------------------------
+        let (l_l, local_spans) = if self.cfg.use_le && with_views {
+            self.local_explanations(task, &mut g, emb, final_logits, &encoded, kind)
+        } else {
+            (None, Vec::new())
+        };
+
+        // --- GE: Algorithm 2 -------------------------------------------
+        let (l_g, global_infl) = if self.cfg.use_ge && with_views {
+            self.global_explanations(task, &mut g, cls, &cls_value, node, training)
+        } else {
+            (None, Vec::new())
+        };
+
+        SampleForward {
+            graph: g,
+            final_logits,
+            l_l,
+            l_g,
+            local_spans,
+            global_infl,
+            structural,
+        }
+    }
+
+    /// Algorithm 1: sliding-window relevance scores and local logits.
+    #[allow(clippy::too_many_arguments)]
+    fn local_explanations(
+        &mut self,
+        task: usize,
+        g: &mut Graph,
+        emb: NodeId,
+        reference_logits: NodeId,
+        encoded: &explainti_tokenizer::Encoded,
+        kind: TaskKind,
+    ) -> (Option<NodeId>, Vec<LocalSpan>) {
+        let k = self.cfg.window;
+        let len = encoded.len;
+        // Enumerate concept anchors `(start, len, paired_start)`: sliding
+        // windows for ExplainTI, marker-delimited segments for the
+        // SelfExplain reproduction; pairwise anchors for relations.
+        let mut anchors: Vec<(usize, usize, Option<usize>)> = Vec::new();
+        match self.cfg.le_mode {
+            crate::config::LeMode::Segments => {
+                // Segments between special/marker tokens (ids < 8).
+                let mut start = None;
+                for pos in 1..len {
+                    let special = encoded.ids[pos] < 8;
+                    match (start, special) {
+                        (None, false) => start = Some(pos),
+                        (Some(s), true) => {
+                            anchors.push((s, pos - s, None));
+                            start = None;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(s) = start {
+                    anchors.push((s, len - s, None));
+                }
+            }
+            crate::config::LeMode::SlidingWindow => match kind {
+                TaskKind::Type => {
+                    let last = len.saturating_sub(k);
+                    for j in 1..last {
+                        anchors.push((j, k, None));
+                    }
+                }
+                TaskKind::Relation => {
+                    let second = encoded.second_start.unwrap_or(len / 2);
+                    let stride = self.cfg.pair_stride.max(1);
+                    let first_last = second.saturating_sub(k);
+                    let last = len.saturating_sub(k);
+                    let mut j = 1;
+                    while j < first_last {
+                        let mut js = second;
+                        while js < last {
+                            anchors.push((j, k, Some(js)));
+                            js += stride;
+                        }
+                        j += stride;
+                    }
+                }
+            },
+        }
+        if anchors.is_empty() {
+            return (None, Vec::new());
+        }
+
+        let full_probs = softmax(g.value(reference_logits).as_slice());
+        // Mean embedding over the live (non-pad) positions, used to build
+        // each window's "input without the concept" representation.
+        let live = g.rows_range(emb, 0, len);
+        let all_mean = g.mean_rows(live);
+        let mut window_nodes: Vec<NodeId> = Vec::with_capacity(anchors.len());
+        let mut kls: Vec<f32> = Vec::with_capacity(anchors.len());
+        for &(j, wlen, js) in &anchors {
+            // Algorithm 1 describes t_j as "the representation of the
+            // sample without each window"; we realise that literally as
+            // the mean embedding over every live position *outside* the
+            // window(s): t_j = (len·mean_all − k·mean_win) / (len − k).
+            // Scoring the sample-minus-window distribution makes
+            // KL(s_j ‖ logits) large exactly when the window carries the
+            // prediction — the behaviour the paper's Fig 1/6 examples
+            // show. (The paper's inline formula `mean(E_win) − E_CLS` is
+            // a window-centric vector whose KL ranking anti-correlates
+            // with relevance at our scale; see DESIGN.md.)
+            let win = g.rows_range(emb, j, wlen);
+            let win_mean = g.mean_rows(win);
+            let (removed_mean, removed_count) = match js {
+                Some(js) => {
+                    let win2 = g.rows_range(emb, js, wlen);
+                    let win2_mean = g.mean_rows(win2);
+                    let sum = g.add(win_mean, win2_mean);
+                    (g.scale(sum, 0.5), 2 * wlen)
+                }
+                None => (win_mean, wlen),
+            };
+            let remaining = len.saturating_sub(removed_count).max(1) as f32;
+            let scaled_all = g.scale(all_mean, len as f32 / remaining);
+            let scaled_win = g.scale(removed_mean, removed_count as f32 / remaining);
+            let t = g.sub(scaled_all, scaled_win);
+            let s = self.tasks[task].heads.w_l.forward(g, &self.store, t);
+            let probs = softmax(g.value(s).as_slice());
+            let score = match self.cfg.le_scoring {
+                crate::config::LeScoring::KlDivergence => kl_divergence(&probs, &full_probs),
+                crate::config::LeScoring::LogitDrop => {
+                    let pred = full_probs
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    (full_probs[pred] - probs[pred]).abs()
+                }
+            };
+            kls.push(score);
+            window_nodes.push(s);
+        }
+
+        let tot: f32 = kls.iter().sum();
+        let rs: Vec<f32> = if tot > 1e-12 {
+            kls.iter().map(|k| k / tot).collect()
+        } else {
+            vec![1.0 / kls.len() as f32; kls.len()]
+        };
+
+        // l_L = Σ_j RS_j · s_j (relevance-weighted window logits).
+        let mut l_l: Option<NodeId> = None;
+        for (s, &w) in window_nodes.iter().zip(&rs) {
+            let scaled = g.scale(*s, w);
+            l_l = Some(match l_l {
+                Some(acc) => g.add(acc, scaled),
+                None => scaled,
+            });
+        }
+
+        let mut spans: Vec<LocalSpan> = anchors
+            .iter()
+            .zip(&rs)
+            .map(|(&(j, wlen, js), &relevance)| {
+                let mut text = self.tokenizer.decode(&encoded.ids[j..j + wlen]);
+                if let Some(js) = js {
+                    text.push_str(" ⟷ ");
+                    text.push_str(&self.tokenizer.decode(&encoded.ids[js..js + wlen]));
+                }
+                LocalSpan { start: j, window: wlen, pair_start: js, text, relevance }
+            })
+            .collect();
+        spans.sort_by(|a, b| b.relevance.partial_cmp(&a.relevance).unwrap_or(std::cmp::Ordering::Equal));
+        (l_l, spans)
+    }
+
+    /// Algorithm 2: top-K influential samples and global logits.
+    fn global_explanations(
+        &mut self,
+        task: usize,
+        g: &mut Graph,
+        cls: NodeId,
+        cls_value: &Tensor,
+        node: Option<usize>,
+        training: bool,
+    ) -> (Option<NodeId>, Vec<GlobalInfluence>) {
+        let exclude = if training { node } else { None };
+        let found = self.tasks[task].q.top_k(cls_value, self.cfg.top_k, exclude);
+        if found.is_empty() {
+            return (None, Vec::new());
+        }
+        let d = self.encoder.d_model();
+        let kn = found.len();
+        let mut q_raw = Tensor::zeros(kn, d);
+        let mut q_hat = Tensor::zeros(kn, d);
+        for (r, n) in found.iter().enumerate() {
+            let e = self.tasks[task]
+                .q
+                .get(n.id)
+                .expect("retrieved neighbour must be stored");
+            q_raw.row_slice_mut(r).copy_from_slice(e.as_slice());
+            let norm = e.norm().max(1e-6);
+            for (dst, &src) in q_hat.row_slice_mut(r).iter_mut().zip(e.as_slice()) {
+                *dst = src / norm;
+            }
+        }
+        // cos(E_CLS, q) with detached norms: (E/‖E‖) · q̂.
+        let inv_norm = 1.0 / cls_value.norm().max(1e-6);
+        let q_hat_n = g.input(q_hat);
+        let q_raw_n = g.input(q_raw);
+        let scaled_cls = g.scale(cls, inv_norm);
+        let sims = g.matmul_nt(scaled_cls, q_hat_n);
+        let is_node = g.softmax(sims);
+        let e_g = g.matmul(is_node, q_raw_n);
+        let l_g = self.tasks[task].heads.w_g.forward(g, &self.store, e_g);
+
+        let is_values = g.value(is_node).as_slice().to_vec();
+        let mut infl: Vec<GlobalInfluence> = found
+            .iter()
+            .zip(is_values)
+            .map(|(n, influence)| GlobalInfluence {
+                sample: n.id,
+                influence,
+                label: self.tasks[task].q.label(n.id).unwrap_or(usize::MAX),
+            })
+            .collect();
+        infl.sort_by(|a, b| b.influence.partial_cmp(&a.influence).unwrap_or(std::cmp::Ordering::Equal));
+        (Some(l_g), infl)
+    }
+
+    /// Algorithm 4: graph-attention aggregation and structural logits.
+    fn structural_explanations(
+        &mut self,
+        task: usize,
+        g: &mut Graph,
+        cls: NodeId,
+        cls_value: &Tensor,
+        node: Option<usize>,
+        training: bool,
+    ) -> (NodeId, Vec<StructuralNeighbor>) {
+        let r = self.cfg.sample_r;
+        let state = &self.tasks[task];
+        let q = &state.q;
+        // Training samples fresh neighbours per step (the paper's uniform
+        // sampling); inference uses a per-node deterministic draw so
+        // predictions are reproducible. Ad-hoc inputs (node = None) have
+        // no graph node and fall through to the self-attention fallback.
+        let sampled = match node {
+            Some(sample_idx) => {
+                let pred = |n: usize| n != sample_idx && q.has(n);
+                if training {
+                    state
+                        .data
+                        .graph
+                        .sample_neighbors(sample_idx, r, Some(&pred), &mut self.rng)
+                } else {
+                    let mut eval_rng = SmallRng::seed_from_u64(
+                        self.cfg.seed ^ (sample_idx as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    state
+                        .data
+                        .graph
+                        .sample_neighbors(sample_idx, r, Some(&pred), &mut eval_rng)
+                }
+            }
+            None => Vec::new(),
+        };
+
+        let d = self.encoder.d_model();
+        let (neigh_matrix, ids): (Tensor, Vec<usize>) = if sampled.is_empty() {
+            // Isolated or ad-hoc node: attend to the sample itself so
+            // E_s = E_[CLS]; the structural view is reported empty.
+            (cls_value.clone(), Vec::new())
+        } else {
+            let mut m = Tensor::zeros(sampled.len(), d);
+            for (row, &n) in sampled.iter().enumerate() {
+                m.row_slice_mut(row)
+                    .copy_from_slice(self.tasks[task].q.get(n).unwrap().as_slice());
+            }
+            (m, sampled)
+        };
+
+        let n_node = g.input(neigh_matrix);
+        // Eq. 5 uses raw dot products; post-layer-norm embeddings have
+        // norm ~ sqrt(d), so raw dots saturate the softmax into a hard
+        // (and noisy) max. Temperature-scaling by 1/d keeps the attention
+        // soft enough to average out bad neighbours (noted in DESIGN.md).
+        let (as_values_node, e_s) = match self.cfg.se_aggregation {
+            crate::config::SeAggregation::Attention => {
+                let scores = g.matmul_nt(cls, n_node);
+                let scaled = g.scale(scores, 1.0 / d as f32);
+                let as_node = g.softmax(scaled);
+                let e_s = g.matmul(as_node, n_node);
+                (as_node, e_s)
+            }
+            crate::config::SeAggregation::MeanPooling => {
+                let rows = g.value(n_node).rows();
+                let uniform = g.input(Tensor::full(1, rows, 1.0 / rows as f32));
+                let e_s = g.mean_rows(n_node);
+                (uniform, e_s)
+            }
+        };
+        let as_node = as_values_node;
+        let e_star = g.concat_cols(e_s, cls);
+        let logits = self.tasks[task].heads.w_s.forward(g, &self.store, e_star);
+
+        // Merge duplicate neighbours (with-replacement sampling) by
+        // summing attention mass.
+        let as_values = g.value(as_node).as_slice().to_vec();
+        let mut merged: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+        for (&id, &a) in ids.iter().zip(&as_values) {
+            *merged.entry(id).or_insert(0.0) += a;
+        }
+        let mut structural: Vec<StructuralNeighbor> = merged
+            .into_iter()
+            .map(|(node, attention)| StructuralNeighbor {
+                node,
+                attention,
+                label: self.tasks[task]
+                    .q
+                    .label(node)
+                    .unwrap_or(usize::MAX),
+            })
+            .collect();
+        structural.sort_by(|a, b| {
+            b.attention
+                .partial_cmp(&a.attention)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        (logits, structural)
+    }
+
+    /// Predicts the type of an *ad-hoc* column that is not part of the
+    /// dataset (e.g. freshly ingested from CSV): the column is serialised
+    /// with the model's tokenizer, LE and GE work as usual, and SE falls
+    /// back to self-attention because the column has no graph node.
+    pub fn predict_column(&mut self, title: &str, header: &str, cells: &[&str]) -> Prediction {
+        let task = self.task_index(TaskKind::Type).expect("type task not registered");
+        let encoded = explainti_tokenizer::encode_column(
+            &self.tokenizer,
+            title,
+            header,
+            cells,
+            self.cfg.encoder.max_seq,
+        );
+        let fwd = self.forward_encoded(task, &encoded, None, false, true);
+        Self::prediction_from(fwd)
+    }
+
+    /// Predicts one sample with full multi-view explanations.
+    pub fn predict(&mut self, kind: TaskKind, sample_idx: usize) -> Prediction {
+        let task = self.task_index(kind).expect("task not registered");
+        let fwd = self.forward_sample(task, sample_idx, false);
+        Self::prediction_from(fwd)
+    }
+
+    fn prediction_from(fwd: SampleForward) -> Prediction {
+        let logits = fwd.graph.value(fwd.final_logits).as_slice().to_vec();
+        let probs = softmax(&logits);
+        let label = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Prediction {
+            label,
+            confidence: probs[label],
+            probs,
+            explanation: Explanation {
+                local: fwd.local_spans,
+                global: fwd.global_infl,
+                structural: fwd.structural,
+            },
+        }
+    }
+
+    /// Evaluates F1 over a split of a task.
+    pub fn evaluate(&mut self, kind: TaskKind, split: Split) -> F1Scores {
+        let task = self.task_index(kind).expect("task not registered");
+        let indices = self.tasks[task].data.indices(split).to_vec();
+        let num_classes = self.tasks[task].data.num_classes;
+        let mut preds = Vec::with_capacity(indices.len());
+        let mut actual = Vec::with_capacity(indices.len());
+        for idx in indices {
+            let fwd = self.forward_logits_only(task, idx);
+            let logits = fwd.graph.value(fwd.final_logits);
+            preds.push(logits.argmax_row(0));
+            actual.push(self.tasks[task].data.samples[idx].label);
+        }
+        f1_scores(&preds, &actual, num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explainti_corpus::{generate_wiki, WikiConfig};
+
+    fn model() -> ExplainTi {
+        let d = generate_wiki(&WikiConfig { num_tables: 50, seed: 21, ..Default::default() });
+        let cfg = ExplainTiConfig::bert_like(2048, 32);
+        ExplainTi::new(&d, cfg)
+    }
+
+    #[test]
+    fn registers_both_wiki_tasks() {
+        let m = model();
+        assert_eq!(m.tasks().len(), 2);
+        assert!(m.task_index(TaskKind::Type).is_some());
+        assert!(m.task_index(TaskKind::Relation).is_some());
+    }
+
+    #[test]
+    fn forward_produces_all_views_after_store_init() {
+        let mut m = model();
+        m.refresh_store(0);
+        // Use a sample whose graph node has train-split neighbours so the
+        // structural view is populated (isolated nodes legitimately fall
+        // back to an empty structural view).
+        let sample = (0..m.tasks[0].data.samples.len())
+            .find(|&i| {
+                m.tasks[0]
+                    .data
+                    .graph
+                    .neighbors(i)
+                    .iter()
+                    .any(|&n| m.tasks[0].q.has(n))
+            })
+            .expect("some sample has stored neighbours");
+        let fwd = m.forward_sample(0, sample, false);
+        assert!(fwd.l_l.is_some(), "LE missing");
+        assert!(fwd.l_g.is_some(), "GE missing");
+        assert!(!fwd.local_spans.is_empty());
+        assert!(!fwd.global_infl.is_empty());
+        assert!(!fwd.structural.is_empty());
+        let c = m.tasks[0].data.num_classes;
+        assert_eq!(fwd.graph.value(fwd.final_logits).shape(), (1, c));
+    }
+
+    #[test]
+    fn relevance_scores_sum_to_one() {
+        let mut m = model();
+        m.refresh_store(0);
+        let fwd = m.forward_sample(0, 3, false);
+        let total: f32 = fwd.local_spans.iter().map(|s| s.relevance).sum();
+        assert!((total - 1.0).abs() < 1e-4, "RS sum {total}");
+    }
+
+    #[test]
+    fn influence_scores_sum_to_one_and_sorted() {
+        let mut m = model();
+        m.refresh_store(0);
+        let fwd = m.forward_sample(0, 5, false);
+        let total: f32 = fwd.global_infl.iter().map(|s| s.influence).sum();
+        assert!((total - 1.0).abs() < 1e-4);
+        for pair in fwd.global_infl.windows(2) {
+            assert!(pair[0].influence >= pair[1].influence);
+        }
+    }
+
+    #[test]
+    fn attention_scores_sum_to_one() {
+        let mut m = model();
+        m.refresh_store(0);
+        let fwd = m.forward_sample(0, 2, false);
+        let total: f32 = fwd.structural.iter().map(|s| s.attention).sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn training_excludes_self_from_global_view() {
+        let mut m = model();
+        m.refresh_store(0);
+        let train0 = m.tasks[0].data.train_idx[0];
+        let fwd = m.forward_sample(0, train0, true);
+        assert!(fwd.global_infl.iter().all(|g| g.sample != train0));
+    }
+
+    #[test]
+    fn ablations_drop_their_views() {
+        let d = generate_wiki(&WikiConfig { num_tables: 40, seed: 22, ..Default::default() });
+        let cfg = ExplainTiConfig::bert_like(2048, 32)
+            .without("le")
+            .without("ge")
+            .without("se");
+        let mut m = ExplainTi::new(&d, cfg);
+        m.refresh_store(0);
+        let fwd = m.forward_sample(0, 0, false);
+        assert!(fwd.l_l.is_none());
+        assert!(fwd.l_g.is_none());
+        assert!(fwd.local_spans.is_empty());
+        assert!(fwd.structural.is_empty());
+    }
+
+    #[test]
+    fn prediction_probabilities_are_a_distribution() {
+        let mut m = model();
+        m.refresh_store(0);
+        let p = m.predict(TaskKind::Type, 1);
+        let total: f32 = p.probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+        assert_eq!(p.label, p.probs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0);
+    }
+
+    #[test]
+    fn relation_forward_uses_pairwise_windows() {
+        let mut m = model();
+        m.refresh_store(1);
+        let fwd = m.forward_sample(1, 0, false);
+        assert!(!fwd.local_spans.is_empty());
+        assert!(fwd.local_spans.iter().all(|s| s.pair_start.is_some()));
+    }
+}

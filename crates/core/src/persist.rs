@@ -1,0 +1,154 @@
+//! Model checkpointing: save and restore all trainable weights.
+//!
+//! The binary format is deliberately simple — magic, version, weight
+//! count, little-endian `f32`s — so checkpoints stay portable across
+//! builds. A checkpoint carries *weights only*: the loader must construct
+//! the model with the same dataset and configuration first (construction
+//! order defines the parameter layout), which mirrors how pre-trained LM
+//! checkpoints work.
+
+use crate::model::ExplainTi;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"EXPLTI01";
+
+/// Encodes a flat weight vector into the checkpoint format.
+pub fn encode_weights(weights: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(MAGIC.len() + 8 + weights.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(weights.len() as u64);
+    for &w in weights {
+        buf.put_f32_le(w);
+    }
+    buf.freeze()
+}
+
+/// Decodes a checkpoint produced by [`encode_weights`].
+pub fn decode_weights(mut data: &[u8]) -> io::Result<Vec<f32>> {
+    if data.len() < MAGIC.len() + 8 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "checkpoint too short"));
+    }
+    if &data[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+    }
+    data.advance(MAGIC.len());
+    let n = data.get_u64_le() as usize;
+    if data.remaining() != n * 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint payload mismatch: header says {n} weights, body has {} bytes", data.remaining()),
+        ));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(data.get_f32_le());
+    }
+    Ok(out)
+}
+
+impl ExplainTi {
+    /// Snapshot of every trainable weight (encoder + all heads).
+    pub fn export_all_weights(&self) -> Vec<f32> {
+        self.store().to_flat()
+    }
+
+    /// Restores a snapshot from [`Self::export_all_weights`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the model layout.
+    pub fn import_all_weights(&mut self, weights: &[f32]) {
+        self.store_mut().load_flat(weights);
+    }
+
+    /// Writes a checkpoint of all weights to disk.
+    pub fn save_weights(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, encode_weights(&self.export_all_weights()))
+    }
+
+    /// Loads a checkpoint from disk into this model.
+    ///
+    /// Fails when the file is corrupt or the weight count does not match
+    /// (i.e. the model was built with a different dataset/configuration).
+    pub fn load_weights(&mut self, path: &Path) -> io::Result<()> {
+        let data = std::fs::read(path)?;
+        let weights = decode_weights(&data)?;
+        if weights.len() != self.num_weights() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint has {} weights but the model expects {}",
+                    weights.len(),
+                    self.num_weights()
+                ),
+            ));
+        }
+        self.import_all_weights(&weights);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExplainTiConfig;
+    use crate::TaskKind;
+    use explainti_corpus::{generate_wiki, WikiConfig};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let weights = vec![1.0f32, -2.5, 0.0, 3.25e-8];
+        let bytes = encode_weights(&weights);
+        assert_eq!(decode_weights(&bytes).unwrap(), weights);
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut bytes = encode_weights(&[1.0]).to_vec();
+        bytes[0] = b'X';
+        assert!(decode_weights(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let bytes = encode_weights(&[1.0, 2.0]);
+        assert!(decode_weights(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn save_load_restores_predictions() {
+        let d = generate_wiki(&WikiConfig { num_tables: 40, seed: 77, ..Default::default() });
+        let mut cfg = ExplainTiConfig::bert_like(2048, 24);
+        cfg.epochs = 1;
+        cfg.use_se = false; // deterministic predictions
+        let mut a = ExplainTi::new(&d, cfg.clone());
+        a.train();
+        let before = a.predict(TaskKind::Type, 0);
+
+        let dir = std::env::temp_dir().join("explainti-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        a.save_weights(&path).unwrap();
+
+        let mut b = ExplainTi::new(&d, cfg);
+        b.load_weights(&path).unwrap();
+        let after = b.predict(TaskKind::Type, 0);
+        assert_eq!(before.label, after.label);
+        assert_eq!(before.probs, after.probs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_layout_is_rejected() {
+        let d = generate_wiki(&WikiConfig { num_tables: 30, seed: 78, ..Default::default() });
+        let cfg = ExplainTiConfig::bert_like(2048, 24);
+        let mut m = ExplainTi::new(&d, cfg);
+        let dir = std::env::temp_dir().join("explainti-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, encode_weights(&[0.0; 7])).unwrap();
+        assert!(m.load_weights(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

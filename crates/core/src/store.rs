@@ -1,0 +1,187 @@
+//! The embedding store `Q` of Algorithm 2.
+//!
+//! Holds the `E_[CLS]` embedding of every *training* sample, refreshed
+//! every few epochs during fine-tuning, and an HNSW index over the stored
+//! vectors for `O(log N)` top-K influential-sample retrieval. The SE
+//! module reads neighbour embeddings from the same store.
+
+use explainti_ann::{HnswConfig, HnswIndex, Metric, Neighbor, VectorIndex};
+use explainti_nn::Tensor;
+
+/// Embedding store with an optional ANN index.
+pub struct EmbeddingStore {
+    dim: usize,
+    embeddings: Vec<Option<Tensor>>,
+    labels: Vec<Option<usize>>,
+    index: Option<HnswIndex>,
+    /// Monotonic version, bumped on every rebuild (diagnostics).
+    version: u64,
+}
+
+impl EmbeddingStore {
+    /// Creates a store for `num_samples` slots of dimension `dim`.
+    pub fn new(num_samples: usize, dim: usize) -> Self {
+        Self {
+            dim,
+            embeddings: vec![None; num_samples],
+            labels: vec![None; num_samples],
+            index: None,
+            version: 0,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Stores (or replaces) the embedding of sample `idx`.
+    ///
+    /// # Panics
+    /// Panics if the embedding is not a `1 x dim` row.
+    pub fn set(&mut self, idx: usize, embedding: Tensor, label: usize) {
+        assert_eq!(embedding.shape(), (1, self.dim), "embedding shape mismatch");
+        self.embeddings[idx] = Some(embedding);
+        self.labels[idx] = Some(label);
+    }
+
+    /// The stored embedding of sample `idx`, if any.
+    pub fn get(&self, idx: usize) -> Option<&Tensor> {
+        self.embeddings.get(idx).and_then(Option::as_ref)
+    }
+
+    /// Label recorded with the stored embedding.
+    pub fn label(&self, idx: usize) -> Option<usize> {
+        self.labels.get(idx).and_then(|l| *l)
+    }
+
+    /// Whether sample `idx` has a stored embedding.
+    pub fn has(&self, idx: usize) -> bool {
+        self.get(idx).is_some()
+    }
+
+    /// Number of stored embeddings.
+    pub fn stored(&self) -> usize {
+        self.embeddings.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Rebuild version (increases on every [`Self::rebuild_index`]).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Rebuilds the HNSW index over all stored embeddings. Call after a
+    /// refresh pass (every `refresh_epochs` epochs, per the paper).
+    pub fn rebuild_index(&mut self) {
+        let mut index = HnswIndex::new(Metric::Cosine, HnswConfig::default());
+        for (i, emb) in self.embeddings.iter().enumerate() {
+            if let Some(e) = emb {
+                index.add(i, e.as_slice());
+            }
+        }
+        self.index = Some(index);
+        self.version += 1;
+    }
+
+    /// Top-`k` most similar stored samples to `query`, optionally
+    /// excluding one index (the query sample itself during training).
+    ///
+    /// Uses the HNSW index when built, falling back to a linear scan
+    /// otherwise (e.g. right after initialisation).
+    pub fn top_k(&self, query: &Tensor, k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+        if k == 0 || self.stored() == 0 {
+            return Vec::new();
+        }
+        let fetch = k + usize::from(exclude.is_some());
+        let mut found = match &self.index {
+            Some(index) => index.search(query.as_slice(), fetch),
+            None => {
+                let metric = Metric::Cosine;
+                let mut all: Vec<Neighbor> = self
+                    .embeddings
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| {
+                        e.as_ref().map(|e| Neighbor {
+                            id: i,
+                            similarity: metric.similarity(query.as_slice(), e.as_slice()),
+                        })
+                    })
+                    .collect();
+                all.sort_by(|a, b| {
+                    b.similarity
+                        .partial_cmp(&a.similarity)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                all.truncate(fetch);
+                all
+            }
+        };
+        if let Some(ex) = exclude {
+            found.retain(|n| n.id != ex);
+        }
+        found.truncate(k);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: Vec<f32>) -> Tensor {
+        Tensor::row(v)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut q = EmbeddingStore::new(4, 2);
+        q.set(1, row(vec![1.0, 0.0]), 7);
+        assert!(q.has(1));
+        assert!(!q.has(0));
+        assert_eq!(q.label(1), Some(7));
+        assert_eq!(q.stored(), 1);
+    }
+
+    #[test]
+    fn top_k_without_index_falls_back_to_scan() {
+        let mut q = EmbeddingStore::new(3, 2);
+        q.set(0, row(vec![1.0, 0.0]), 0);
+        q.set(1, row(vec![0.0, 1.0]), 1);
+        q.set(2, row(vec![0.9, 0.1]), 0);
+        let res = q.top_k(&row(vec![1.0, 0.0]), 2, None);
+        assert_eq!(res[0].id, 0);
+        assert_eq!(res[1].id, 2);
+    }
+
+    #[test]
+    fn exclusion_drops_the_query_sample() {
+        let mut q = EmbeddingStore::new(3, 2);
+        q.set(0, row(vec![1.0, 0.0]), 0);
+        q.set(1, row(vec![0.99, 0.01]), 0);
+        q.rebuild_index();
+        let res = q.top_k(&row(vec![1.0, 0.0]), 1, Some(0));
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].id, 1);
+    }
+
+    #[test]
+    fn rebuild_bumps_version_and_indexes_all() {
+        let mut q = EmbeddingStore::new(10, 2);
+        for i in 0..10 {
+            q.set(i, row(vec![i as f32, 1.0]), i);
+        }
+        assert_eq!(q.version(), 0);
+        q.rebuild_index();
+        assert_eq!(q.version(), 1);
+        let res = q.top_k(&row(vec![9.0, 1.0]), 3, None);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].id, 9);
+    }
+
+    #[test]
+    fn empty_store_returns_nothing() {
+        let q = EmbeddingStore::new(5, 3);
+        assert!(q.top_k(&row(vec![1.0, 0.0, 0.0]), 4, None).is_empty());
+    }
+}

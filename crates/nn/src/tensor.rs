@@ -1,0 +1,489 @@
+//! Dense row-major 2-D tensor used throughout the reproduction.
+//!
+//! All ExplainTI computations operate on matrices whose rows are either
+//! batch samples or sequence positions, so a rank-2 tensor (with rank-1
+//! treated as a single row) keeps the autograd implementation small and
+//! auditable. Shapes are checked eagerly; dimension mismatches panic with
+//! the offending shapes, which turns silent numerical bugs into loud ones.
+
+use std::fmt;
+
+/// A dense, row-major `rows x cols` matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "tensor data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { data, rows, cols }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates a 1 x n row vector.
+    pub fn row(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self::from_vec(1, cols, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutably borrow one row as a slice.
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Matrix product `self (r x k) * other (k x c) -> (r x c)`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams both the output
+    /// row and the right-hand-side row, which is the cache-friendly layout
+    /// for row-major data.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row_slice(i);
+            let out_row = out.row_slice_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..k * n + n];
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * other`, without materialising the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {}x{} ^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let a_row = self.row_slice(k);
+            let b_row = other.row_slice(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..i * n + n];
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T`, without materialising the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} * {}x{} ^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row_slice(i);
+            let out_row = out.row_slice_mut(i);
+            for j in 0..other.rows {
+                let b_row = other.row_slice(j);
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out_row[j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise in-place scaling.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Mean over every element.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Column-wise mean, producing a `1 x cols` row.
+    pub fn mean_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        if self.rows == 0 {
+            return out;
+        }
+        for r in 0..self.rows {
+            let row = self.row_slice(r);
+            for (o, &v) in out.data.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / self.rows as f32;
+        out.scale_assign(inv);
+        out
+    }
+
+    /// L2 norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Cosine similarity between two flat tensors of identical length.
+    pub fn cosine(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "cosine length mismatch");
+        let mut dot = 0.0f32;
+        let mut na = 0.0f32;
+        let mut nb = 0.0f32;
+        for (&a, &b) in self.data.iter().zip(&other.data) {
+            dot += a * b;
+            na += a * a;
+            nb += b * b;
+        }
+        let denom = na.sqrt() * nb.sqrt();
+        if denom <= f32::EPSILON {
+            0.0
+        } else {
+            dot / denom
+        }
+    }
+
+    /// Extracts rows `[start, start + n)` into a new tensor.
+    pub fn rows_range(&self, start: usize, n: usize) -> Tensor {
+        assert!(
+            start + n <= self.rows,
+            "rows_range [{start}, {}) out of bounds for {} rows",
+            start + n,
+            self.rows
+        );
+        let begin = start * self.cols;
+        let end = (start + n) * self.cols;
+        Tensor::from_vec(n, self.cols, self.data[begin..end].to_vec())
+    }
+
+    /// Horizontal concatenation: `[self | other]`.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Tensor::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.row_slice_mut(r)[..self.cols].copy_from_slice(self.row_slice(r));
+            out.row_slice_mut(r)[self.cols..].copy_from_slice(other.row_slice(r));
+        }
+        out
+    }
+
+    /// Index of the largest element in a given row.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row_slice(r);
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Numerically stable softmax of a slice, written into `out`.
+pub fn softmax_into(xs: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(xs.len(), out.len());
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (o, &x) in out.iter_mut().zip(xs) {
+        let e = (x - max).exp();
+        *o = e;
+        sum += e;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+/// Numerically stable softmax of a slice, returning a new vector.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; xs.len()];
+    softmax_into(xs, &mut out);
+    out
+}
+
+/// Kullback-Leibler divergence `KL(p || q)` between two distributions.
+///
+/// Both inputs must already be probability distributions; entries of `p`
+/// that are zero contribute nothing, and `q` is floored at a small epsilon
+/// for numerical safety (matching the paper's use of KL over softmax
+/// outputs in Eq. 3).
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    const EPS: f32 = 1e-8;
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            kl += pi * (pi / qi.max(EPS)).ln();
+        }
+    }
+    kl.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![1.0, 0.5, -1.0, 2.0, 0.0, 3.0]);
+        let got = a.matmul_tn(&b);
+        let want = a.transpose().matmul(&b);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|v| v as f32).collect());
+        let got = a.matmul_nt(&b);
+        let want = a.matmul(&b.transpose());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_of_identical_distributions_is_zero() {
+        let p = softmax(&[0.3, 1.5, -0.2]);
+        assert!(kl_divergence(&p, &p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = softmax(&[3.0, 0.0, 0.0]);
+        let q = softmax(&[0.0, 0.0, 3.0]);
+        assert!(kl_divergence(&p, &q) > 0.1);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        let a = Tensor::row(vec![1.0, 2.0, 3.0]);
+        let b = Tensor::row(vec![2.0, 4.0, 6.0]);
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let a = Tensor::row(vec![0.0, 0.0]);
+        let b = Tensor::row(vec![1.0, 1.0]);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn mean_rows_averages_columns() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = a.mean_rows();
+        assert_eq!(m.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_cols_places_halves() {
+        let a = Tensor::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.as_slice(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn rows_range_extracts_middle() {
+        let a = Tensor::from_vec(3, 2, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = a.rows_range(1, 1);
+        assert_eq!(b.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_row_finds_peak() {
+        let a = Tensor::from_vec(1, 4, vec![0.1, 0.9, 0.3, 0.2]);
+        assert_eq!(a.argmax_row(0), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal CSV ingestion so real tables can be interpreted, not just the
+//! synthetic corpora.
+//!
+//! Implements the subset of RFC 4180 that table corpora actually use:
+//! comma separation, double-quote quoting with `""` escapes, CR/LF line
+//! endings. The first row is treated as the header row (GitTables-style
+//! CSV exports); the file name (sans extension) becomes the table title
+//! unless an explicit title is given.
+
+use crate::model::{Column, Table};
+
+/// A CSV parsing failure with row context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 0-based row where the open quote started.
+        row: usize,
+    },
+    /// The input contained no rows at all.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { row } => {
+                write!(f, "unterminated quoted field starting at row {row}")
+            }
+            CsvError::Empty => write!(f, "empty CSV input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into rows of fields.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut quote_row = 0usize;
+    let mut chars = text.chars().peekable();
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_quotes = true;
+                quote_row = rows.len();
+            }
+            ',' => row.push(std::mem::take(&mut field)),
+            '\r' => {} // swallowed; `\n` terminates the row
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { row: quote_row });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    // Drop fully-empty trailing rows (files ending in a blank line).
+    while rows.last().is_some_and(|r| r.iter().all(String::is_empty)) {
+        rows.pop();
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Converts CSV text into a [`Table`]: first row = headers, remaining
+/// rows = cells (column-major). Ragged rows are padded with empty cells.
+/// Columns get no type annotation — that is what the model predicts.
+pub fn table_from_csv(title: &str, text: &str) -> Result<Table, CsvError> {
+    let rows = parse_csv(text)?;
+    let headers = &rows[0];
+    let n_cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut columns: Vec<Column> = (0..n_cols)
+        .map(|c| {
+            Column::new(
+                headers.get(c).cloned().unwrap_or_default(),
+                Vec::with_capacity(rows.len().saturating_sub(1)),
+                None,
+            )
+        })
+        .collect();
+    for row in &rows[1..] {
+        for (c, col) in columns.iter_mut().enumerate() {
+            col.cells.push(row.get(c).cloned().unwrap_or_default());
+        }
+    }
+    Ok(Table::new(title, columns))
+}
+
+/// Reads a CSV file from disk; the file stem becomes the title.
+pub fn table_from_csv_file(path: &std::path::Path) -> std::io::Result<Result<Table, CsvError>> {
+    let text = std::fs::read_to_string(path)?;
+    let title = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().replace(['_', '-'], " "))
+        .unwrap_or_default();
+    Ok(table_from_csv(&title, &text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rows_parse() {
+        let rows = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn quoted_fields_keep_commas_and_newlines() {
+        let rows = parse_csv("name,notes\n\"Smith, J.\",\"line1\nline2\"\n").unwrap();
+        assert_eq!(rows[1][0], "Smith, J.");
+        assert_eq!(rows[1][1], "line1\nline2");
+    }
+
+    #[test]
+    fn escaped_quotes_unescape() {
+        let rows = parse_csv("q\n\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rows[1][0], "he said \"hi\"");
+    }
+
+    #[test]
+    fn crlf_line_endings_work() {
+        let rows = parse_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn missing_trailing_newline_keeps_last_row() {
+        let rows = parse_csv("a\n1").unwrap();
+        assert_eq!(rows, vec![vec!["a"], vec!["1"]]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(matches!(
+            parse_csv("a\n\"oops"),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(parse_csv(""), Err(CsvError::Empty));
+        assert_eq!(parse_csv("\n\n"), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn table_from_csv_builds_columns() {
+        let t = table_from_csv("players", "player,team\nles jepsen,warriors\nbo kimble,clippers\n").unwrap();
+        assert_eq!(t.title, "players");
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.columns[0].header, "player");
+        assert_eq!(t.columns[0].cells, vec!["les jepsen", "bo kimble"]);
+        assert!(t.columns.iter().all(|c| c.type_label.is_none()));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let t = table_from_csv("x", "a,b,c\n1,2\n1,2,3,4\n").unwrap();
+        assert_eq!(t.num_cols(), 4);
+        assert_eq!(t.columns[2].cells, vec!["", "3"]);
+        assert_eq!(t.columns[3].header, "");
+    }
+}

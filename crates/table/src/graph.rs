@@ -1,0 +1,290 @@
+//! Column-graph construction (Algorithm 3) and neighbour sampling.
+//!
+//! Tables are linked through two kinds of implicit connections: columns
+//! (column pairs) in tables with the *same title*, and columns (pairs) with
+//! the *same header* (header pair) across tables. The paper treats
+//! columns/pairs as whole nodes, which keeps the graph lightweight:
+//! construction is `O(|T| · |T_cols|)`.
+//!
+//! Graph nodes are indexed by the *sample order* of
+//! [`TableCollection::annotated_columns`] / [`annotated_pairs`], so node
+//! `i` corresponds to dataset sample `i` — the alignment the structural-
+//! explanations module relies on.
+
+use crate::model::{ColRef, PairRef, TableCollection};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Which task the graph serves (affects node identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Nodes are annotated columns (`G_t`).
+    ColumnType,
+    /// Nodes are annotated column pairs (`G_r`).
+    ColumnRelation,
+}
+
+/// The lightweight column (pair) graph of Algorithm 3.
+#[derive(Debug, Clone)]
+pub struct ColumnGraph {
+    kind: GraphKind,
+    /// Node index -> indices of nodes sharing its title.
+    title_group_of: Vec<usize>,
+    /// Node index -> indices of nodes sharing its header (pair).
+    header_group_of: Vec<usize>,
+    title_groups: Vec<Vec<usize>>,
+    header_groups: Vec<Vec<usize>>,
+}
+
+fn group_key<'a>(groups: &mut HashMap<String, usize>, lists: &mut Vec<Vec<usize>>, key: &'a str, node: usize) -> usize {
+    let gid = *groups.entry(key.to_string()).or_insert_with(|| {
+        lists.push(Vec::new());
+        lists.len() - 1
+    });
+    lists[gid].push(node);
+    gid
+}
+
+impl ColumnGraph {
+    /// Builds `G_t` over the annotated columns of `tables`, returning the
+    /// graph and the column reference of each node.
+    pub fn build_type(tables: &TableCollection) -> (Self, Vec<ColRef>) {
+        let cols = tables.annotated_columns();
+        let mut titles = HashMap::new();
+        let mut headers = HashMap::new();
+        let mut title_groups = Vec::new();
+        let mut header_groups = Vec::new();
+        let mut title_group_of = Vec::with_capacity(cols.len());
+        let mut header_group_of = Vec::with_capacity(cols.len());
+        for (node, (cref, _)) in cols.iter().enumerate() {
+            let table = &tables.tables[cref.table];
+            title_group_of.push(group_key(&mut titles, &mut title_groups, &table.title, node));
+            let header = &table.columns[cref.col].header;
+            header_group_of.push(group_key(&mut headers, &mut header_groups, header, node));
+        }
+        (
+            Self {
+                kind: GraphKind::ColumnType,
+                title_group_of,
+                header_group_of,
+                title_groups,
+                header_groups,
+            },
+            cols.into_iter().map(|(r, _)| r).collect(),
+        )
+    }
+
+    /// Builds `G_r` over the annotated column pairs of `tables`, returning
+    /// the graph and the pair reference of each node.
+    pub fn build_relation(tables: &TableCollection) -> (Self, Vec<PairRef>) {
+        let pairs = tables.annotated_pairs();
+        let mut titles = HashMap::new();
+        let mut headers = HashMap::new();
+        let mut title_groups = Vec::new();
+        let mut header_groups = Vec::new();
+        let mut title_group_of = Vec::with_capacity(pairs.len());
+        let mut header_group_of = Vec::with_capacity(pairs.len());
+        for (node, (pref, _)) in pairs.iter().enumerate() {
+            let table = &tables.tables[pref.table];
+            title_group_of.push(group_key(&mut titles, &mut title_groups, &table.title, node));
+            let key = format!(
+                "{}\u{1}{}",
+                table.columns[pref.subject].header, table.columns[pref.object].header
+            );
+            header_group_of.push(group_key(&mut headers, &mut header_groups, &key, node));
+        }
+        (
+            Self {
+                kind: GraphKind::ColumnRelation,
+                title_group_of,
+                header_group_of,
+                title_groups,
+                header_groups,
+            },
+            pairs.into_iter().map(|(r, _)| r).collect(),
+        )
+    }
+
+    /// The task this graph was built for.
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Number of column (pair) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.title_group_of.len()
+    }
+
+    /// Number of title + header bridge nodes.
+    pub fn num_bridges(&self) -> usize {
+        self.title_groups.len() + self.header_groups.len()
+    }
+
+    /// Number of edges (each node links to exactly one title and one
+    /// header bridge).
+    pub fn num_edges(&self) -> usize {
+        self.num_nodes() * 2
+    }
+
+    /// Distinct 2-hop neighbours of `node` (columns sharing its title or
+    /// header), excluding the node itself.
+    pub fn neighbors(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &n in &self.title_groups[self.title_group_of[node]] {
+            if n != node {
+                out.push(n);
+            }
+        }
+        for &n in &self.header_groups[self.header_group_of[node]] {
+            if n != node && !out.contains(&n) {
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// Uniformly samples exactly `r` 2-hop neighbours of `node` from
+    /// `candidates ∩ neighbors(node)`, with replacement when fewer than `r`
+    /// are available (the paper's sampling rule). `candidates` restricts to
+    /// nodes whose embeddings exist in the store (training nodes); pass
+    /// `None` to sample from all neighbours. Returns an empty vector when
+    /// the node is isolated under the restriction.
+    pub fn sample_neighbors(
+        &self,
+        node: usize,
+        r: usize,
+        candidates: Option<&dyn Fn(usize) -> bool>,
+        rng: &mut SmallRng,
+    ) -> Vec<usize> {
+        let pool: Vec<usize> = match candidates {
+            Some(pred) => self.neighbors(node).into_iter().filter(|&n| pred(n)).collect(),
+            None => self.neighbors(node),
+        };
+        if pool.is_empty() || r == 0 {
+            return Vec::new();
+        }
+        (0..r).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Column, RelationAnnotation, Table};
+    use rand::SeedableRng;
+
+    fn collection() -> TableCollection {
+        // Two tables sharing a title, a third sharing a header with t0.
+        let t0 = Table {
+            title: "shared title".into(),
+            columns: vec![
+                Column::new("player", vec!["a".into()], Some(0)),
+                Column::new("team", vec!["b".into()], Some(1)),
+            ],
+            relations: vec![RelationAnnotation { subject: 0, object: 1, label: 0 }],
+        };
+        let t1 = Table {
+            title: "shared title".into(),
+            columns: vec![Column::new("coach", vec!["c".into()], Some(0))],
+            relations: vec![],
+        };
+        let t2 = Table {
+            title: "other title".into(),
+            columns: vec![Column::new("player", vec!["d".into()], Some(0))],
+            relations: vec![],
+        };
+        TableCollection {
+            tables: vec![t0, t1, t2],
+            type_labels: vec!["a".into(), "b".into()],
+            relation_labels: vec!["r".into()],
+        }
+    }
+
+    #[test]
+    fn node_order_matches_sample_order() {
+        let c = collection();
+        let (_, refs) = ColumnGraph::build_type(&c);
+        assert_eq!(refs.len(), 4);
+        assert_eq!(refs[0], ColRef { table: 0, col: 0 });
+        assert_eq!(refs[3], ColRef { table: 2, col: 0 });
+    }
+
+    #[test]
+    fn title_and_header_bridges_connect() {
+        let c = collection();
+        let (g, _) = ColumnGraph::build_type(&c);
+        // Node 0 = t0.player: shares title with nodes 1, 2; header with 3.
+        let mut n0 = g.neighbors(0);
+        n0.sort();
+        assert_eq!(n0, vec![1, 2, 3]);
+        // Node 3 = t2.player: only shares the header with node 0.
+        assert_eq!(g.neighbors(3), vec![0]);
+    }
+
+    #[test]
+    fn isolated_node_has_no_neighbors() {
+        let mut c = collection();
+        c.tables.push(Table::new(
+            "unique title",
+            vec![Column::new("unique header", vec!["x".into()], Some(0))],
+        ));
+        let (g, refs) = ColumnGraph::build_type(&c);
+        let last = refs.len() - 1;
+        assert!(g.neighbors(last).is_empty());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(g.sample_neighbors(last, 4, None, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sampling_with_replacement_fills_r() {
+        let c = collection();
+        let (g, _) = ColumnGraph::build_type(&c);
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Node 3 has exactly one neighbour; sampling 5 must repeat it.
+        let s = g.sample_neighbors(3, 5, None, &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn candidate_filter_restricts_pool() {
+        let c = collection();
+        let (g, _) = ColumnGraph::build_type(&c);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let only_node_2 = |n: usize| n == 2;
+        let s = g.sample_neighbors(0, 8, Some(&only_node_2), &mut rng);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|&n| n == 2));
+    }
+
+    #[test]
+    fn relation_graph_uses_header_pairs() {
+        let mut c = collection();
+        // Add a second table with the same header pair but different title.
+        c.tables.push(Table {
+            title: "yet another".into(),
+            columns: vec![
+                Column::new("player", vec!["e".into()], None),
+                Column::new("team", vec!["f".into()], None),
+            ],
+            relations: vec![RelationAnnotation { subject: 0, object: 1, label: 0 }],
+        });
+        let (g, refs) = ColumnGraph::build_relation(&c);
+        assert_eq!(refs.len(), 2);
+        assert_eq!(g.kind(), GraphKind::ColumnRelation);
+        // The two pairs share the header-pair bridge.
+        assert_eq!(g.neighbors(0), vec![1]);
+        assert_eq!(g.neighbors(1), vec![0]);
+    }
+
+    #[test]
+    fn edge_and_bridge_counts() {
+        let c = collection();
+        let (g, _) = ColumnGraph::build_type(&c);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 8);
+        // Titles: shared, other; headers: player, team, coach.
+        assert_eq!(g.num_bridges(), 5);
+    }
+}

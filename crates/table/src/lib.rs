@@ -1,0 +1,15 @@
+//! # explainti-table
+//!
+//! Relational-table data model, the `S(c)` / `S(c_i, c_j)` serialisations
+//! of Section II-B (via `explainti-tokenizer`), and the lightweight column
+//! graph of Algorithm 3 with 2-hop neighbour sampling.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod graph;
+pub mod model;
+
+pub use csv::{parse_csv, table_from_csv, table_from_csv_file, CsvError};
+pub use graph::{ColumnGraph, GraphKind};
+pub use model::{ColRef, Column, PairRef, RelationAnnotation, Table, TableCollection};

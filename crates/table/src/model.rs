@@ -1,0 +1,224 @@
+//! Relational-table data model shared by the corpus generators, the
+//! ExplainTI core, and every baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one column inside a table collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColRef {
+    /// Index of the table in the collection.
+    pub table: usize,
+    /// Index of the column inside the table.
+    pub col: usize,
+}
+
+/// Identifies one annotated column pair inside a table collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairRef {
+    /// Index of the table in the collection.
+    pub table: usize,
+    /// Subject column index.
+    pub subject: usize,
+    /// Object column index.
+    pub object: usize,
+}
+
+/// One table column: header, cell values, and an optional type annotation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column header (may be empty for headerless DB tables).
+    pub header: String,
+    /// Cell values, top to bottom.
+    pub cells: Vec<String>,
+    /// Ground-truth semantic type (index into the label set), if annotated.
+    pub type_label: Option<usize>,
+}
+
+impl Column {
+    /// Creates an annotated column.
+    pub fn new(header: impl Into<String>, cells: Vec<String>, type_label: Option<usize>) -> Self {
+        Self { header: header.into(), cells, type_label }
+    }
+
+    /// The PP (pre-processing) step of Table III: unduplicated cell values
+    /// in first-seen order.
+    pub fn unique_cells(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        self.cells
+            .iter()
+            .filter(|c| seen.insert(c.as_str()))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Borrowed cell slices (the common serialisation input).
+    pub fn cell_refs(&self) -> Vec<&str> {
+        self.cells.iter().map(String::as_str).collect()
+    }
+}
+
+/// A relation annotation between two columns of the same table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationAnnotation {
+    /// Subject column index.
+    pub subject: usize,
+    /// Object column index.
+    pub object: usize,
+    /// Ground-truth relation label (index into the relation label set).
+    pub label: usize,
+}
+
+/// A titled relational table with annotated columns and column pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. a Wikipedia page caption).
+    pub title: String,
+    /// Columns, left to right.
+    pub columns: Vec<Column>,
+    /// Annotated subject/object relations.
+    pub relations: Vec<RelationAnnotation>,
+}
+
+impl Table {
+    /// Creates a table without relation annotations.
+    pub fn new(title: impl Into<String>, columns: Vec<Column>) -> Self {
+        Self { title: title.into(), columns, relations: Vec::new() }
+    }
+
+    /// Number of rows (length of the longest column).
+    pub fn num_rows(&self) -> usize {
+        self.columns.iter().map(|c| c.cells.len()).max().unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A collection of tables plus its label vocabularies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TableCollection {
+    /// The tables.
+    pub tables: Vec<Table>,
+    /// Column-type label names (`C_type`).
+    pub type_labels: Vec<String>,
+    /// Relation label names (`C_rel`).
+    pub relation_labels: Vec<String>,
+}
+
+impl TableCollection {
+    /// Resolves a column reference.
+    pub fn column(&self, r: ColRef) -> &Column {
+        &self.tables[r.table].columns[r.col]
+    }
+
+    /// Resolves a pair reference to its two columns.
+    pub fn pair(&self, r: PairRef) -> (&Column, &Column) {
+        let t = &self.tables[r.table];
+        (&t.columns[r.subject], &t.columns[r.object])
+    }
+
+    /// Every annotated column, in table order.
+    pub fn annotated_columns(&self) -> Vec<(ColRef, usize)> {
+        let mut out = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for (ci, c) in t.columns.iter().enumerate() {
+                if let Some(label) = c.type_label {
+                    out.push((ColRef { table: ti, col: ci }, label));
+                }
+            }
+        }
+        out
+    }
+
+    /// Every annotated column pair, in table order.
+    pub fn annotated_pairs(&self) -> Vec<(PairRef, usize)> {
+        let mut out = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for rel in &t.relations {
+                out.push((
+                    PairRef { table: ti, subject: rel.subject, object: rel.object },
+                    rel.label,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Average number of rows per table (Table II statistic).
+    pub fn avg_rows(&self) -> f64 {
+        if self.tables.is_empty() {
+            return 0.0;
+        }
+        self.tables.iter().map(|t| t.num_rows() as f64).sum::<f64>() / self.tables.len() as f64
+    }
+
+    /// Average number of annotated columns per table (Table II statistic).
+    pub fn avg_annotated_cols(&self) -> f64 {
+        if self.tables.is_empty() {
+            return 0.0;
+        }
+        let annotated: usize = self
+            .tables
+            .iter()
+            .map(|t| t.columns.iter().filter(|c| c.type_label.is_some()).count())
+            .sum();
+        annotated as f64 / self.tables.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableCollection {
+        TableCollection {
+            tables: vec![Table {
+                title: "1990 nba draft".into(),
+                columns: vec![
+                    Column::new("player", vec!["Les Jepsen".into(), "Bo Kimble".into()], Some(0)),
+                    Column::new("nba team", vec!["Warriors".into(), "Clippers".into()], Some(1)),
+                    Column::new("notes", vec!["".into(), "".into()], None),
+                ],
+                relations: vec![RelationAnnotation { subject: 0, object: 1, label: 3 }],
+            }],
+            type_labels: vec!["person".into(), "team".into()],
+            relation_labels: (0..4).map(|i| format!("rel{i}")).collect(),
+        }
+    }
+
+    #[test]
+    fn annotated_columns_skip_unlabelled() {
+        let c = sample();
+        let cols = c.annotated_columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].1, 0);
+        assert_eq!(cols[1].1, 1);
+    }
+
+    #[test]
+    fn annotated_pairs_resolve() {
+        let c = sample();
+        let pairs = c.annotated_pairs();
+        assert_eq!(pairs.len(), 1);
+        let (s, o) = c.pair(pairs[0].0);
+        assert_eq!(s.header, "player");
+        assert_eq!(o.header, "nba team");
+    }
+
+    #[test]
+    fn unique_cells_dedups_in_order() {
+        let col = Column::new("h", vec!["a".into(), "b".into(), "a".into()], None);
+        assert_eq!(col.unique_cells(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn table_shape_statistics() {
+        let c = sample();
+        assert_eq!(c.tables[0].num_rows(), 2);
+        assert_eq!(c.tables[0].num_cols(), 3);
+        assert!((c.avg_annotated_cols() - 2.0).abs() < 1e-9);
+        assert!((c.avg_rows() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! # explainti-xeval
+//!
+//! Explainability evaluation for the ExplainTI reproduction:
+//!
+//! * **Sufficiency** (Table IV, Fig 3): the FRESH protocol — train a fresh
+//!   classifier on extracted explanations only ([`sufficiency_f1`]) over
+//!   per-method extractors ([`sufficiency`] module).
+//! * **Plausibility & trustability** (Fig 5): simulated judges scoring
+//!   explanations against the corpus's signal provenance ([`judges`]).
+//! * **Online simulation** (Section IV-C): a verification-time cost model
+//!   reproducing the ≈19% expert time saving ([`online`]).
+
+#![warn(missing_docs)]
+
+pub mod judges;
+pub mod online;
+pub mod sufficiency;
+pub mod textclf;
+
+pub use judges::{judge, JudgeAggregate, JudgeContext, JudgedExplanation, Verdict};
+pub use online::{simulate, CostModel, OnlineResult, VerificationItem};
+pub use sufficiency::{extract_explainti_views, extract_influence, extract_saliency, ExplainTiViews};
+pub use textclf::{sufficiency_f1, TextInstance};

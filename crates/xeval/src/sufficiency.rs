@@ -1,0 +1,180 @@
+//! Explanation extraction for the sufficiency analysis (Table IV, Fig 3).
+//!
+//! For every train/test sample of a task, the extractors reduce a model's
+//! explanation bundle to plain text — exactly what a human would be shown
+//! — and [`sufficiency_f1`](crate::textclf::sufficiency_f1) then measures
+//! how predictive that text alone is.
+
+use crate::textclf::TextInstance;
+use explainti_baselines::{InfluenceExplainer, SeqClassifier};
+use explainti_core::{ExplainTi, TaskKind};
+use explainti_corpus::Split;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Explanation texts per view extracted from one ExplainTI model.
+pub struct ExplainTiViews {
+    /// Top-k local windows, joined.
+    pub local: Vec<TextInstance>,
+    /// Content of the top-k influential training samples.
+    pub global: Vec<TextInstance>,
+    /// Content of the top-k structural neighbours.
+    pub structural: Vec<TextInstance>,
+    /// Random windows of the same shape as `local` (Fig 3's control).
+    pub random: Vec<TextInstance>,
+}
+
+fn sample_text(model: &ExplainTi, task: usize, idx: usize) -> String {
+    let enc = &model.tasks()[task].data.samples[idx].encoded;
+    model.tokenizer.decode(&enc.ids[1..enc.len.saturating_sub(1)])
+}
+
+/// Extracts all three ExplainTI views (plus the random-window control)
+/// with a single prediction pass per sample. `k = (local, global,
+/// structural)` caps per view; Table IV uses (3, 1, 1).
+pub fn extract_explainti_views(
+    model: &mut ExplainTi,
+    kind: TaskKind,
+    k: (usize, usize, usize),
+    seed: u64,
+) -> ExplainTiViews {
+    let task = model.task_index(kind).expect("task not registered");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut views = ExplainTiViews {
+        local: Vec::new(),
+        global: Vec::new(),
+        structural: Vec::new(),
+        random: Vec::new(),
+    };
+    let n = model.tasks()[task].data.samples.len();
+    for idx in 0..n {
+        let (label, split) = {
+            let s = &model.tasks()[task].data.samples[idx];
+            (s.label, s.split)
+        };
+        if split == Split::Valid {
+            continue;
+        }
+        let pred = model.predict(kind, idx);
+
+        let local_text = pred
+            .explanation
+            .top_local_diverse(k.0)
+            .into_iter()
+            .map(|s| s.text.clone())
+            .collect::<Vec<_>>()
+            .join(" ; ");
+        views.local.push(TextInstance { text: local_text, label, split });
+
+        let global_text = pred
+            .explanation
+            .top_global(k.1)
+            .iter()
+            .map(|gi| sample_text(model, task, gi.sample))
+            .collect::<Vec<_>>()
+            .join(" ; ");
+        views.global.push(TextInstance { text: global_text, label, split });
+
+        let structural_text = pred
+            .explanation
+            .top_structural(k.2)
+            .iter()
+            .map(|sn| sample_text(model, task, sn.node))
+            .collect::<Vec<_>>()
+            .join(" ; ");
+        views
+            .structural
+            .push(TextInstance { text: structural_text, label, split });
+
+        // Random windows of the same count and width as the local view.
+        let enc = &model.tasks()[task].data.samples[idx].encoded;
+        let w = model.cfg.window;
+        let mut rand_text = Vec::new();
+        for _ in 0..k.0 {
+            if enc.len > w + 1 {
+                let start = rng.gen_range(1..enc.len - w);
+                rand_text.push(model.tokenizer.decode(&enc.ids[start..start + w]));
+            }
+        }
+        views.random.push(TextInstance { text: rand_text.join(" ; "), label, split });
+    }
+    views
+}
+
+/// Saliency-map explanations: the `top` highest-|grad×input| tokens
+/// (Table IV uses K=10 "because its explanations are short").
+pub fn extract_saliency(model: &mut SeqClassifier, kind: TaskKind, top: usize) -> Vec<TextInstance> {
+    let n = model.samples(kind).len();
+    let mut out = Vec::new();
+    for idx in 0..n {
+        let (enc, label, split) = model.samples(kind)[idx].clone();
+        if split == Split::Valid {
+            continue;
+        }
+        let sal = model.saliency(kind, idx);
+        let mut positions: Vec<usize> = sal.iter().take(top).map(|t| t.position).collect();
+        positions.sort_unstable();
+        let words: Vec<String> = positions
+            .iter()
+            .filter(|&&p| enc.ids[p] >= 8)
+            .map(|&p| model.tokenizer().token(enc.ids[p]).to_string())
+            .collect();
+        out.push(TextInstance { text: words.join(" "), label, split });
+    }
+    out
+}
+
+/// Influence-function explanations: content of the top-`k` most
+/// influential training samples.
+pub fn extract_influence(model: &mut SeqClassifier, kind: TaskKind, k: usize) -> Vec<TextInstance> {
+    let explainer = InfluenceExplainer::new(model, kind);
+    let n = model.samples(kind).len();
+    let mut out = Vec::new();
+    for idx in 0..n {
+        let (label, split) = {
+            let s = &model.samples(kind)[idx];
+            (s.1, s.2)
+        };
+        if split == Split::Valid {
+            continue;
+        }
+        let top = explainer.top_k(model, idx, k);
+        let text = top
+            .iter()
+            .map(|&(i, _)| {
+                let enc = &model.samples(kind)[i].0;
+                model.tokenizer().decode(&enc.ids[1..enc.len.saturating_sub(1)])
+            })
+            .collect::<Vec<_>>()
+            .join(" ; ");
+        out.push(TextInstance { text, label, split });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explainti_core::ExplainTiConfig;
+    use explainti_corpus::{generate_wiki, WikiConfig};
+
+    #[test]
+    fn views_cover_train_and_test_but_not_valid() {
+        let d = generate_wiki(&WikiConfig { num_tables: 40, seed: 81, ..Default::default() });
+        let mut cfg = ExplainTiConfig::bert_like(2048, 24);
+        cfg.top_k = 3;
+        cfg.sample_r = 4;
+        let mut m = ExplainTi::new(&d, cfg);
+        m.refresh_store(0);
+        let views = extract_explainti_views(&mut m, TaskKind::Type, (3, 1, 1), 7);
+        let total = m.tasks()[0].data.samples.len();
+        let valid = m.tasks()[0].data.valid_idx.len();
+        assert_eq!(views.local.len(), total - valid);
+        assert_eq!(views.global.len(), views.local.len());
+        assert_eq!(views.random.len(), views.local.len());
+        assert!(views.local.iter().all(|i| i.split != Split::Valid));
+        // Local texts decode to non-empty strings for most samples.
+        let nonempty = views.local.iter().filter(|i| !i.text.is_empty()).count();
+        assert!(nonempty as f64 > 0.9 * views.local.len() as f64);
+    }
+}

@@ -1,0 +1,78 @@
+//! Explain a single column end-to-end (the paper's Fig 6 case study as an
+//! API walkthrough): train, pick a `location.country` test column, and
+//! render the three explanation views with the table content behind each.
+//!
+//! Run with: `cargo run --release --example explain_column`
+
+use explainti::prelude::*;
+
+fn main() {
+    let dataset = generate_wiki(&WikiConfig { num_tables: 200, ..Default::default() });
+    let mut cfg = ExplainTiConfig::roberta_like(2048, 32);
+    cfg.epochs = 3;
+    let mut model = ExplainTi::new(&dataset, cfg);
+    model.train();
+
+    let cols = dataset.collection.annotated_columns();
+    let country = dataset
+        .collection
+        .type_labels
+        .iter()
+        .position(|l| l == "location.country");
+    let task = model.task_index(TaskKind::Type).unwrap();
+    let sample = model.tasks()[task]
+        .data
+        .test_idx
+        .iter()
+        .copied()
+        .find(|&i| Some(cols[i].1) == country)
+        .unwrap_or(model.tasks()[task].data.test_idx[0]);
+
+    let (cref, gold) = cols[sample];
+    let table = &dataset.collection.tables[cref.table];
+    let col = &table.columns[cref.col];
+    let p = model.predict(TaskKind::Type, sample);
+    let name = |l: usize| dataset.collection.type_labels[l].clone();
+
+    println!("━━ input ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━");
+    println!("title : {}", table.title);
+    println!("header: {}", col.header);
+    println!("cells : {}", col.cells.join(" | "));
+    println!();
+    println!("prediction: {}  (gold: {}, confidence {:.2})", name(p.label), name(gold), p.confidence);
+    println!();
+    println!("━━ local view (relevant windows, Eq. 3) ━━━━━━━");
+    for s in p.explanation.top_local(3) {
+        println!("  RS {:.3} │ \"{}\"", s.relevance, s.text);
+    }
+    println!();
+    println!("━━ global view (influential samples, Eq. 4) ━━━");
+    for g in p.explanation.top_global(3) {
+        let (r, _) = cols[g.sample];
+        let t = &dataset.collection.tables[r.table];
+        let c = &t.columns[r.col];
+        println!(
+            "  IS {:.3} │ {} │ {} / {} → {}",
+            g.influence,
+            name(g.label),
+            t.title,
+            c.header,
+            c.cells.iter().take(3).cloned().collect::<Vec<_>>().join(", ")
+        );
+    }
+    println!();
+    println!("━━ structural view (graph attention, Eq. 5) ━━━");
+    for n in p.explanation.top_structural(3) {
+        let (r, _) = cols[n.node];
+        let t = &dataset.collection.tables[r.table];
+        let c = &t.columns[r.col];
+        println!(
+            "  AS {:.3} │ {} │ {} / {} → {}",
+            n.attention,
+            name(n.label),
+            t.title,
+            c.header,
+            c.cells.iter().take(3).cloned().collect::<Vec<_>>().join(", ")
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! PII detection — the decision-making scenario that motivates the paper
+//! (Section I: "missing or false table metadata of PII may cause a severe
+//! privacy leakage").
+//!
+//! A small corpus of customer-data tables is annotated with PII and
+//! non-PII column types; ExplainTI predicts each column's type and the
+//! example flags PII columns together with the explanation a data steward
+//! would verify.
+//!
+//! Run with: `cargo run --release --example pii_detection`
+
+use explainti::corpus::dataset::assign_splits;
+use explainti::corpus::{ColProvenance, Dataset};
+use explainti::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const TYPES: &[(&str, bool, &[&str], &[&str])] = &[
+    // (label, is_pii, headers, value templates with {} as a counter)
+    ("pii.email", true, &["email", "contact email"], &["user{}@example.com", "acct{}@mail.org"]),
+    ("pii.phone", true, &["phone", "mobile"], &["+1 555 01{}", "020 7946 0{}"]),
+    ("pii.name", true, &["customer", "full name"], &["maria delgado {}", "henrik olsen {}"]),
+    ("pii.address", true, &["address", "street"], &["{} elm street", "{} baker road"]),
+    ("other.order_id", false, &["order", "order id"], &["ORD-{}", "PO-{}"]),
+    ("other.amount", false, &["amount", "total"], &["{}.99", "{}.50"]),
+];
+
+fn build_corpus(num_tables: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tables = Vec::new();
+    let mut col_provenance = Vec::new();
+    for ti in 0..num_tables {
+        let rows = rng.gen_range(6..12);
+        let n_cols = rng.gen_range(2..4);
+        let mut columns = Vec::new();
+        for _ in 0..n_cols {
+            let t = rng.gen_range(0..TYPES.len());
+            let (_, _, headers, templates) = TYPES[t];
+            let header = headers[rng.gen_range(0..headers.len())];
+            let cells: Vec<String> = (0..rows)
+                .map(|_| {
+                    let template = templates[rng.gen_range(0..templates.len())];
+                    template.replace("{}", &rng.gen_range(100..999).to_string())
+                })
+                .collect();
+            columns.push(Column::new(header, cells, Some(t)));
+            col_provenance.push(ColProvenance {
+                signal_rows: (0..rows).collect(),
+                weak: false,
+            });
+        }
+        tables.push(Table::new(
+            format!("customer export {}", ti % 12),
+            columns,
+        ));
+    }
+    let table_split = assign_splits(tables.len());
+    Dataset {
+        name: "pii-demo".into(),
+        collection: TableCollection {
+            tables,
+            type_labels: TYPES.iter().map(|(n, ..)| n.to_string()).collect(),
+            relation_labels: Vec::new(),
+        },
+        table_split,
+        col_provenance,
+        pair_provenance: Vec::new(),
+    }
+}
+
+fn main() {
+    let dataset = build_corpus(120, 7);
+    let mut cfg = ExplainTiConfig::bert_like(1024, 24);
+    cfg.epochs = 3;
+    let mut model = ExplainTi::new(&dataset, cfg);
+    model.train();
+
+    let f1 = model.evaluate(TaskKind::Type, Split::Test);
+    println!("column-type F1 on held-out customer tables: {f1}\n");
+
+    // Flag PII columns in the test split, with the evidence a data
+    // steward would check before acting.
+    let task = model.task_index(TaskKind::Type).unwrap();
+    let test_idx = model.tasks()[task].data.test_idx.clone();
+    let cols = dataset.collection.annotated_columns();
+    let mut flagged = 0;
+    for idx in test_idx.iter().take(40) {
+        let p = model.predict(TaskKind::Type, *idx);
+        let (label_name, is_pii, ..) = TYPES[p.label];
+        if !is_pii {
+            continue;
+        }
+        flagged += 1;
+        let (cref, _) = cols[*idx];
+        let table = &dataset.collection.tables[cref.table];
+        let col = &table.columns[cref.col];
+        println!(
+            "PII ⚠ {label_name:<13} column \"{}\" in \"{}\" (confidence {:.2})",
+            col.header, table.title, p.confidence
+        );
+        if let Some(span) = p.explanation.top_local(1).first() {
+            println!("      evidence: \"{}\"", span.text);
+        }
+    }
+    println!("\nflagged {flagged} PII columns for steward review");
+}

@@ -1,0 +1,22 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper (EXPERIMENTS.md inputs).
+set -u
+cd "$(dirname "$0")"
+mkdir -p bench-results
+run() {
+  local name=$1; shift
+  echo "=== $name ($(date +%T)) ==="
+  "$@" > bench-results/$name.txt 2> bench-results/$name.log
+  echo "=== $name done ($(date +%T)) ==="
+}
+run table2 cargo run --release -q -p explainti-bench --bin table2
+run table3 cargo run --release -q -p explainti-bench --bin table3
+run table5 cargo run --release -q -p explainti-bench --bin table5
+run online_sim cargo run --release -q -p explainti-bench --bin online_sim
+run fig6 cargo run --release -q -p explainti-bench --bin fig6
+run fig5 cargo run --release -q -p explainti-bench --bin fig5
+run fig3 cargo run --release -q -p explainti-bench --bin fig3
+EXPLAINTI_SCALE=${T4_SCALE:-0.75} run table4 cargo run --release -q -p explainti-bench --bin table4
+EXPLAINTI_SCALE=${F7_SCALE:-0.75} run fig7 cargo run --release -q -p explainti-bench --bin fig7
+run ablation cargo run --release -q -p explainti-bench --bin ablation
+echo "ALL EXPERIMENTS DONE"

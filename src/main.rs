@@ -1,0 +1,297 @@
+//! `explainti` — command-line interface for the ExplainTI reproduction.
+//!
+//! ```text
+//! explainti generate --out corpus.json [--tables N] [--git]
+//! explainti train    --corpus corpus.json --out model-dir [--epochs N] [--roberta]
+//! explainti interpret --model model-dir file.csv [file2.csv …]
+//! explainti evaluate --model model-dir
+//! ```
+//!
+//! `train` stores both the corpus snapshot and the weight checkpoint in
+//! the model directory, so `interpret`/`evaluate` can rebuild the exact
+//! model (tokenizers and parameter layouts derive deterministically from
+//! the corpus + config).
+
+use explainti::corpus::{generate_git, generate_wiki, Dataset, GitConfig, WikiConfig};
+use explainti::prelude::*;
+use explainti::table::table_from_csv_file;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  explainti generate --out <corpus.json> [--tables N] [--git]\n  \
+         explainti train --corpus <corpus.json> --out <model-dir> [--epochs N] [--roberta]\n  \
+         explainti interpret --model <model-dir> <file.csv>…\n  \
+         explainti evaluate --model <model-dir>"
+    );
+    ExitCode::from(2)
+}
+
+/// Tiny flag parser: collects `--key value` pairs and positional args.
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+    bools: std::collections::HashSet<String>,
+    positional: Vec<String>,
+}
+
+/// Flags that never take a value.
+const BOOL_FLAGS: &[&str] = &["git", "roberta"];
+
+fn parse_args(args: &[String]) -> Args {
+    let mut flags = std::collections::HashMap::new();
+    let mut bools = std::collections::HashSet::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                bools.insert(key.to_string());
+                i += 1;
+            } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                bools.insert(key.to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Args { flags, bools, positional }
+}
+
+fn cmd_generate(args: &Args) -> ExitCode {
+    let Some(out) = args.flags.get("out") else {
+        return usage();
+    };
+    let tables: usize = args
+        .flags
+        .get("tables")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600);
+    let dataset = if args.bools.contains("git") {
+        generate_git(&GitConfig { num_tables: tables, ..Default::default() })
+    } else {
+        generate_wiki(&WikiConfig { num_tables: tables, ..Default::default() })
+    };
+    match serde_json::to_string(&dataset).map(|s| std::fs::write(out, s)) {
+        Ok(Ok(())) => {
+            let st = dataset.statistics();
+            println!(
+                "wrote {out}: {} tables, {} type labels, {} relation labels",
+                st.num_tables, st.num_type_labels, st.num_relation_labels
+            );
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("failed to write corpus: {other:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_dataset(path: &Path) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path:?}: {e}"))
+}
+
+fn build_model(dataset: &Dataset, model_dir: &Path) -> Result<ExplainTi, String> {
+    let roberta = std::fs::read_to_string(model_dir.join("variant.txt"))
+        .map(|v| v.trim() == "roberta")
+        .unwrap_or(false);
+    let cfg = if roberta {
+        ExplainTiConfig::roberta_like(2048, 32)
+    } else {
+        ExplainTiConfig::bert_like(2048, 32)
+    };
+    let mut model = ExplainTi::new(dataset, cfg);
+    model
+        .load_weights(&model_dir.join("weights.bin"))
+        .map_err(|e| format!("load weights: {e}"))?;
+    // GE/SE read the embedding store; rebuild it for the loaded weights.
+    for task in 0..model.tasks().len() {
+        model.refresh_store(task);
+    }
+    Ok(model)
+}
+
+fn cmd_train(args: &Args) -> ExitCode {
+    let (Some(corpus), Some(out)) = (args.flags.get("corpus"), args.flags.get("out")) else {
+        return usage();
+    };
+    let dataset = match load_dataset(Path::new(corpus)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let roberta = args.bools.contains("roberta");
+    let mut cfg = if roberta {
+        ExplainTiConfig::roberta_like(2048, 32)
+    } else {
+        ExplainTiConfig::bert_like(2048, 32)
+    };
+    if let Some(e) = args.flags.get("epochs").and_then(|v| v.parse().ok()) {
+        cfg.epochs = e;
+    }
+    let mut model = ExplainTi::new(&dataset, cfg);
+    println!("training ({} weights)…", model.num_weights());
+    let report = model.train();
+    println!("trained in {:?} (best epoch {})", report.total_time, report.best_epoch);
+    for kind in [TaskKind::Type, TaskKind::Relation] {
+        if model.task_index(kind).is_some() {
+            let f1 = model.evaluate(kind, Split::Test);
+            println!("{kind:9} test F1: {f1}");
+        }
+    }
+
+    let dir = PathBuf::from(out);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("create {dir:?}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let corpus_copy = dir.join("corpus.json");
+    if std::fs::copy(corpus, &corpus_copy).is_err() {
+        // Fall back to re-serialising (e.g. cross-device copy).
+        if let Err(e) = std::fs::write(&corpus_copy, serde_json::to_string(&dataset).unwrap()) {
+            eprintln!("write corpus snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(dir.join("variant.txt"), if roberta { "roberta" } else { "bert" }) {
+        eprintln!("write variant: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = model.save_weights(&dir.join("weights.bin")) {
+        eprintln!("save weights: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("saved model to {dir:?}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_interpret(args: &Args) -> ExitCode {
+    let Some(model_dir) = args.flags.get("model").map(PathBuf::from) else {
+        return usage();
+    };
+    if args.positional.is_empty() {
+        return usage();
+    }
+    let dataset = match load_dataset(&model_dir.join("corpus.json")) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut model = match build_model(&dataset, &model_dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = 0usize;
+    for file in &args.positional {
+        let table = match table_from_csv_file(Path::new(file)) {
+            Ok(Ok(t)) => t,
+            Ok(Err(e)) => {
+                eprintln!("{file}: {e}");
+                failures += 1;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        println!("{file} (\"{}\"):", table.title);
+        for col in &table.columns {
+            let cells = col.cell_refs();
+            let p = model.predict_column(&table.title, &col.header, &cells);
+            let label = &dataset.collection.type_labels[p.label];
+            println!("  {:<20} → {label} ({:.0}%)", col.header, p.confidence * 100.0);
+            for span in p.explanation.top_local_diverse(1) {
+                println!("  {:<20}   evidence: \"{}\"", "", span.text);
+            }
+        }
+    }
+    if failures > 0 && failures == args.positional.len() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_evaluate(args: &Args) -> ExitCode {
+    let Some(model_dir) = args.flags.get("model").map(PathBuf::from) else {
+        return usage();
+    };
+    let dataset = match load_dataset(&model_dir.join("corpus.json")) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut model = match build_model(&dataset, &model_dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for kind in [TaskKind::Type, TaskKind::Relation] {
+        if model.task_index(kind).is_some() {
+            let f1 = model.evaluate(kind, Split::Test);
+            println!("{kind:9} test F1 (micro/macro/weighted): {f1}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let args = parse_args(&argv[1..]);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "interpret" => cmd_interpret(&args),
+        "evaluate" => cmd_evaluate(&args),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    #[test]
+    fn parses_flags_bools_and_positionals() {
+        let argv: Vec<String> = ["--corpus", "c.json", "--roberta", "a.csv", "b.csv", "--epochs", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = parse_args(&argv);
+        assert_eq!(args.flags.get("corpus").unwrap(), "c.json");
+        assert_eq!(args.flags.get("epochs").unwrap(), "5");
+        assert!(args.bools.contains("roberta"));
+        assert_eq!(args.positional, vec!["a.csv", "b.csv"]);
+    }
+
+    #[test]
+    fn trailing_bool_flag() {
+        let argv: Vec<String> = ["--git"].iter().map(|s| s.to_string()).collect();
+        let args = parse_args(&argv);
+        assert!(args.bools.contains("git"));
+        assert!(args.positional.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration: the full ExplainTI pipeline on a small
+//! synthetic corpus — pre-train, fine-tune, evaluate, explain.
+
+use explainti::prelude::*;
+
+fn small_wiki() -> Dataset {
+    generate_wiki(&WikiConfig { num_tables: 100, seed: 1001, ..Default::default() })
+}
+
+#[test]
+fn full_pipeline_beats_majority_class() {
+    let dataset = small_wiki();
+    let mut cfg = ExplainTiConfig::bert_like(2048, 24);
+    cfg.epochs = 3;
+    cfg.top_k = 4;
+    cfg.sample_r = 8;
+    let mut model = ExplainTi::new(&dataset, cfg);
+    model.pretrain(&explainti::encoder::mlm::PretrainConfig {
+        epochs: 1,
+        ..Default::default()
+    });
+    model.train();
+
+    // Majority-class micro-F1 on the test split.
+    let cols = dataset.collection.annotated_columns();
+    let test: Vec<usize> = (0..cols.len())
+        .filter(|&i| dataset.table_split[cols[i].0.table] == Split::Test)
+        .collect();
+    let mut counts = std::collections::HashMap::new();
+    for &i in &test {
+        *counts.entry(cols[i].1).or_insert(0usize) += 1;
+    }
+    let majority = *counts.values().max().unwrap() as f64 / test.len() as f64;
+
+    let f1 = model.evaluate(TaskKind::Type, Split::Test);
+    assert!(
+        f1.micro > majority + 0.05,
+        "model micro {} did not beat majority {majority}",
+        f1.micro
+    );
+}
+
+#[test]
+fn explanations_are_complete_and_serialisable() {
+    let dataset = small_wiki();
+    let mut cfg = ExplainTiConfig::roberta_like(2048, 24);
+    cfg.epochs = 2;
+    let mut model = ExplainTi::new(&dataset, cfg);
+    model.train();
+
+    let task = model.task_index(TaskKind::Type).unwrap();
+    let idx = model.tasks()[task].data.test_idx[0];
+    let p = model.predict(TaskKind::Type, idx);
+
+    assert!(!p.explanation.local.is_empty(), "local view missing");
+    assert!(!p.explanation.global.is_empty(), "global view missing");
+    assert!(!p.explanation.structural.is_empty(), "structural view missing");
+    assert!(p.confidence > 0.0 && p.confidence <= 1.0);
+
+    // Every view's scores are normalised distributions.
+    let rs: f32 = p.explanation.local.iter().map(|s| s.relevance).sum();
+    let is_: f32 = p.explanation.global.iter().map(|g| g.influence).sum();
+    let as_: f32 = p.explanation.structural.iter().map(|n| n.attention).sum();
+    assert!((rs - 1.0).abs() < 1e-3, "RS sum {rs}");
+    assert!((is_ - 1.0).abs() < 1e-3, "IS sum {is_}");
+    assert!((as_ - 1.0).abs() < 1e-3, "AS sum {as_}");
+
+    // JSON round trip (the ExplainTI+ interface contract).
+    let json = serde_json::to_string(&p).unwrap();
+    let back: explainti::core::Prediction = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.label, p.label);
+    assert_eq!(back.explanation.local.len(), p.explanation.local.len());
+}
+
+#[test]
+fn prediction_is_deterministic_at_inference() {
+    let dataset = small_wiki();
+    let mut cfg = ExplainTiConfig::bert_like(2048, 24);
+    cfg.epochs = 1;
+    cfg.use_se = false; // SE samples neighbours stochastically by design.
+    let mut model = ExplainTi::new(&dataset, cfg);
+    model.train();
+    let a = model.predict(TaskKind::Type, 0);
+    let b = model.predict(TaskKind::Type, 0);
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.probs, b.probs);
+}
+
+#[test]
+fn git_corpus_trains_type_only() {
+    let dataset = generate_git(&GitConfig { num_tables: 60, seed: 1002, ..Default::default() });
+    let mut cfg = ExplainTiConfig::bert_like(2048, 24);
+    cfg.epochs = 2;
+    let mut model = ExplainTi::new(&dataset, cfg);
+    assert!(model.task_index(TaskKind::Relation).is_none());
+    model.train();
+    let f1 = model.evaluate(TaskKind::Type, Split::Test);
+    assert!(f1.micro > 0.2, "git micro {}", f1.micro);
+}
+
+#[test]
+fn encoder_checkpoint_transfers_between_models() {
+    let dataset = small_wiki();
+    let mut cfg = ExplainTiConfig::bert_like(2048, 24);
+    cfg.epochs = 1;
+    let mut a = ExplainTi::new(&dataset, cfg.clone());
+    a.pretrain(&explainti::encoder::mlm::PretrainConfig { epochs: 1, ..Default::default() });
+    let ckpt = a.export_encoder();
+
+    let mut b = ExplainTi::new(&dataset, cfg);
+    b.load_encoder(&ckpt);
+    assert_eq!(b.export_encoder(), ckpt);
+}

@@ -1,0 +1,78 @@
+//! Serialisation contracts: dataset JSON round trips (the CLI's storage
+//! format) and weight-checkpoint encoding.
+
+use explainti::core::{decode_weights, encode_weights};
+use explainti::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn wiki_dataset_json_roundtrip_preserves_everything() {
+    let d = generate_wiki(&WikiConfig { num_tables: 40, seed: 3001, ..Default::default() });
+    let json = serde_json::to_string(&d).unwrap();
+    let back: Dataset = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.collection.tables, d.collection.tables);
+    assert_eq!(back.collection.type_labels, d.collection.type_labels);
+    assert_eq!(back.collection.relation_labels, d.collection.relation_labels);
+    assert_eq!(back.table_split.len(), d.table_split.len());
+    assert_eq!(back.col_provenance.len(), d.col_provenance.len());
+    // Derived views agree.
+    assert_eq!(back.statistics().num_type_samples, d.statistics().num_type_samples);
+    assert_eq!(
+        back.type_sample_indices(Split::Test),
+        d.type_sample_indices(Split::Test)
+    );
+}
+
+#[test]
+fn git_dataset_json_roundtrip() {
+    let d = generate_git(&GitConfig { num_tables: 20, seed: 3002, ..Default::default() });
+    let json = serde_json::to_string(&d).unwrap();
+    let back: Dataset = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.collection.tables, d.collection.tables);
+}
+
+#[test]
+fn model_rebuilt_from_serialised_dataset_accepts_checkpoint() {
+    // The CLI's contract: (corpus.json, weights.bin) reconstructs the
+    // exact model because tokenizer and parameter layout derive
+    // deterministically from the corpus + config.
+    let d = generate_wiki(&WikiConfig { num_tables: 40, seed: 3003, ..Default::default() });
+    let mut cfg = ExplainTiConfig::bert_like(2048, 24);
+    cfg.epochs = 1;
+    cfg.use_se = false;
+    let mut trained = ExplainTi::new(&d, cfg.clone());
+    trained.train();
+    let weights = trained.export_all_weights();
+    let p_before = trained.predict(TaskKind::Type, 0);
+
+    let roundtripped: Dataset =
+        serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+    let mut rebuilt = ExplainTi::new(&roundtripped, cfg);
+    rebuilt.import_all_weights(&weights);
+    let p_after = rebuilt.predict(TaskKind::Type, 0);
+    assert_eq!(p_before.label, p_after.label);
+    assert_eq!(p_before.probs, p_after.probs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Checkpoint encoding round-trips arbitrary finite weight vectors.
+    #[test]
+    fn checkpoint_roundtrip(weights in proptest::collection::vec(-1e6f32..1e6, 0..500)) {
+        let bytes = encode_weights(&weights);
+        let back = decode_weights(&bytes).unwrap();
+        prop_assert_eq!(back, weights);
+    }
+
+    /// Any corruption of the length header is detected.
+    #[test]
+    fn checkpoint_header_corruption_detected(n in 1usize..64, delta in 1u64..1000) {
+        let weights = vec![1.0f32; n];
+        let mut bytes = encode_weights(&weights).to_vec();
+        // Length field lives at offset 8..16 (after the magic).
+        let stored = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        bytes[8..16].copy_from_slice(&(stored + delta).to_le_bytes());
+        prop_assert!(decode_weights(&bytes).is_err());
+    }
+}
