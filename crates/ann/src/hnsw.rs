@@ -130,7 +130,13 @@ impl HnswIndex {
     /// The visited set is a `HashSet` rather than a dense bitmap so the
     /// per-query cost stays proportional to the nodes actually visited,
     /// not to the index size.
-    fn search_layer(&self, query: &[f32], entries: &[usize], ef: usize, layer: usize) -> Vec<Candidate> {
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entries: &[usize],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<Candidate> {
         let mut visited: std::collections::HashSet<usize> =
             std::collections::HashSet::with_capacity(ef * self.cfg.m);
         let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
@@ -144,6 +150,7 @@ impl HnswIndex {
             frontier.push(Candidate { sim, node: e });
             results.push(Worst(Candidate { sim, node: e }));
         }
+        let mut visits = visited.len() as u64;
         while let Some(best) = frontier.pop() {
             let worst_sim = results.peek().map(|w| w.0.sim).unwrap_or(f32::NEG_INFINITY);
             if best.sim < worst_sim && results.len() >= ef {
@@ -154,6 +161,7 @@ impl HnswIndex {
                     if !visited.insert(nb) {
                         continue;
                     }
+                    visits += 1;
                     let sim = self.sim(nb, query);
                     let worst_sim = results.peek().map(|w| w.0.sim).unwrap_or(f32::NEG_INFINITY);
                     if results.len() < ef || sim > worst_sim {
@@ -166,6 +174,7 @@ impl HnswIndex {
                 }
             }
         }
+        explainti_obs::counter!("hnsw.nodes_visited", visits);
         let mut out: Vec<Candidate> = results.into_iter().map(|w| w.0).collect();
         out.sort_by(|a, b| b.cmp(a));
         out
@@ -181,10 +190,8 @@ impl HnswIndex {
 
     /// Prunes a candidate list to the `limit` most similar nodes.
     fn select_neighbors(&self, query: &[f32], candidates: &[usize], limit: usize) -> Vec<usize> {
-        let mut scored: Vec<(f32, usize)> = candidates
-            .iter()
-            .map(|&c| (self.sim(c, query), c))
-            .collect();
+        let mut scored: Vec<(f32, usize)> =
+            candidates.iter().map(|&c| (self.sim(c, query), c)).collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal));
         scored.truncate(limit);
         scored.into_iter().map(|(_, c)| c).collect()
@@ -193,6 +200,7 @@ impl HnswIndex {
 
 impl VectorIndex for HnswIndex {
     fn add(&mut self, id: usize, vector: &[f32]) {
+        let _span = explainti_obs::span!("hnsw.insert");
         let level = self.sample_level();
         let node_idx = self.nodes.len();
         self.nodes.push(HnswNode {
@@ -259,6 +267,7 @@ impl VectorIndex for HnswIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let _span = explainti_obs::span!("hnsw.search");
         let Some(mut entry) = self.entry else {
             return Vec::new();
         };
@@ -303,9 +312,7 @@ mod tests {
 
     fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
     }
 
     #[test]

@@ -74,8 +74,7 @@ fn shape_stats(cells: &[&str]) -> Vec<f32> {
     }
     let chars = chars.max(1.0);
     let distinct: HashSet<&&str> = cells.iter().collect();
-    let words_per_cell =
-        cells.iter().map(|c| normalize(c).len() as f32).sum::<f32>() / n;
+    let words_per_cell = cells.iter().map(|c| normalize(c).len() as f32).sum::<f32>() / n;
     vec![
         mean_len / 32.0,
         var_len.sqrt() / 16.0,

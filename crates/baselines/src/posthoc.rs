@@ -66,7 +66,12 @@ impl SeqClassifier {
 
     /// Closed-form head-gradient feature `clsᵀ(p − e_y)` flattened to
     /// `d·c` values. `label` defaults to the prediction when `None`.
-    pub fn head_grad_feature(&mut self, kind: TaskKind, sample_idx: usize, label: Option<usize>) -> Vec<f32> {
+    pub fn head_grad_feature(
+        &mut self,
+        kind: TaskKind,
+        sample_idx: usize,
+        label: Option<usize>,
+    ) -> Vec<f32> {
         let enc = {
             let (_, _, _, samples, _) = self.task(kind);
             samples[sample_idx].0.clone()
@@ -173,10 +178,7 @@ mod tests {
         let inf = InfluenceExplainer::new(&mut m, TaskKind::Type);
         let test_idx = {
             let (_, _, _, samples, _) = m.task(TaskKind::Type);
-            samples
-                .iter()
-                .position(|(_, _, s)| *s == Split::Test)
-                .expect("a test sample exists")
+            samples.iter().position(|(_, _, s)| *s == Split::Test).expect("a test sample exists")
         };
         let top = inf.top_k(&mut m, test_idx, 3);
         assert_eq!(top.len(), 3);

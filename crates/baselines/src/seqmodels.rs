@@ -26,6 +26,10 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// Borrowed view of one task: encoder, parameters, head, samples, classes.
+pub(crate) type TaskView<'a> =
+    (&'a TransformerEncoder, &'a ParamStore, &'a Linear, &'a [(Encoded, usize, Split)], usize);
 use std::time::{Duration, Instant};
 
 /// Serialisation strategy distinguishing the baseline.
@@ -80,7 +84,12 @@ impl ValueIndex {
     }
 
     /// Up to `limit` columns from *other* tables sharing any of `cells`.
-    pub fn sharing_columns(&self, table: usize, cells: &[&str], limit: usize) -> Vec<(usize, usize)> {
+    pub fn sharing_columns(
+        &self,
+        table: usize,
+        cells: &[&str],
+        limit: usize,
+    ) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for cell in cells {
             if let Some(cols) = self.by_value.get(*cell) {
@@ -200,13 +209,8 @@ impl SeqClassifier {
                 let col = &table.columns[cref.col];
                 let mut own = col.cell_refs();
                 own.truncate(6);
-                let ctx = context_cells(
-                    strategy,
-                    dataset,
-                    cref.table,
-                    cref.col,
-                    value_index.as_ref(),
-                );
+                let ctx =
+                    context_cells(strategy, dataset, cref.table, cref.col, value_index.as_ref());
                 // TCN treats inter-table context as first-class input (it
                 // aggregates neighbour-column representations before the
                 // target's own cells); the other strategies append their
@@ -243,7 +247,13 @@ impl SeqClassifier {
                 ));
                 let co = o.cell_refs();
                 let enc = encode_column_pair(
-                    tokenizer, &table.title, &s.header, &cs, &o.header, &co, max_seq,
+                    tokenizer,
+                    &table.title,
+                    &s.header,
+                    &cs,
+                    &o.header,
+                    &co,
+                    max_seq,
                 );
                 samples.push((enc, label, dataset.table_split[pref.table]));
             }
@@ -293,11 +303,8 @@ impl SeqClassifier {
     /// Fine-tunes the classifier (multi-task when relations exist).
     pub fn train(&mut self) -> Duration {
         let t0 = Instant::now();
-        let total_steps: usize = self
-            .tasks
-            .iter()
-            .map(|t| (t.samples.len() / self.batch_size + 1) * self.epochs)
-            .sum();
+        let total_steps: usize =
+            self.tasks.iter().map(|t| (t.samples.len() / self.batch_size + 1) * self.epochs).sum();
         let mut opt = AdamW::new(LinearSchedule::new(self.lr, total_steps / 20 + 1, total_steps));
         for _epoch in 0..self.epochs {
             for ti in 0..self.tasks.len() {
@@ -309,7 +316,8 @@ impl SeqClassifier {
                     for &i in chunk {
                         let (enc, label, _) = self.tasks[ti].samples[i].clone();
                         let mut g = Graph::new();
-                        let emb = self.encoder.forward(&mut g, &self.store, &enc, true, &mut self.rng);
+                        let emb =
+                            self.encoder.forward(&mut g, &self.store, &enc, true, &mut self.rng);
                         let cls = self.encoder.cls(&mut g, emb);
                         let logits = self.tasks[ti].head.forward(&mut g, &self.store, cls);
                         let loss = g.cross_entropy(logits, &[label]);
@@ -334,21 +342,13 @@ impl SeqClassifier {
 
     /// Predicts the label of one sample.
     pub fn predict(&mut self, kind: TaskKind, sample_idx: usize) -> usize {
-        let ti = self
-            .tasks
-            .iter()
-            .position(|t| t.kind == kind)
-            .expect("task not registered");
+        let ti = self.tasks.iter().position(|t| t.kind == kind).expect("task not registered");
         self.predict_by_task_index(ti, sample_idx)
     }
 
     /// Evaluates one task on a split.
     pub fn evaluate(&mut self, kind: TaskKind, split: Split) -> F1Scores {
-        let ti = self
-            .tasks
-            .iter()
-            .position(|t| t.kind == kind)
-            .expect("task not registered");
+        let ti = self.tasks.iter().position(|t| t.kind == kind).expect("task not registered");
         let num_classes = self.tasks[ti].num_classes;
         let idxs: Vec<usize> = (0..self.tasks[ti].samples.len())
             .filter(|&i| self.tasks[ti].samples[i].2 == split)
@@ -362,9 +362,7 @@ impl SeqClassifier {
         f1_scores(&preds, &labels, num_classes)
     }
 
-    pub(crate) fn parts_mut(
-        &mut self,
-    ) -> (&TransformerEncoder, &mut ParamStore, &mut SmallRng) {
+    pub(crate) fn parts_mut(&mut self) -> (&TransformerEncoder, &mut ParamStore, &mut SmallRng) {
         (&self.encoder, &mut self.store, &mut self.rng)
     }
 
@@ -380,7 +378,7 @@ impl SeqClassifier {
         self.tasks[ti].num_classes
     }
 
-    pub(crate) fn task(&self, kind: TaskKind) -> (&TransformerEncoder, &ParamStore, &Linear, &[(Encoded, usize, Split)], usize) {
+    pub(crate) fn task(&self, kind: TaskKind) -> TaskView<'_> {
         let ti = self.tasks.iter().position(|t| t.kind == kind).expect("task not registered");
         (
             &self.encoder,
@@ -418,12 +416,8 @@ mod tests {
         let doduo = SeqClassifier::new(&d, &tok, cfg.clone(), ContextStrategy::PerColumn, 1);
         let tabert = SeqClassifier::new(&d, &tok, cfg, ContextStrategy::ContentSnapshot, 1);
         // Some multi-column table must serialise differently.
-        let differs = doduo
-            .tasks[0]
-            .samples
-            .iter()
-            .zip(&tabert.tasks[0].samples)
-            .any(|(a, b)| a.0 != b.0);
+        let differs =
+            doduo.tasks[0].samples.iter().zip(&tabert.tasks[0].samples).any(|(a, b)| a.0 != b.0);
         assert!(differs, "content snapshot changed nothing");
     }
 

@@ -149,11 +149,8 @@ impl SherlockModel {
     /// Trains both task MLPs; returns wall-clock time.
     pub fn train(&mut self) -> Duration {
         let t0 = Instant::now();
-        let total_steps: usize = self
-            .tasks
-            .iter()
-            .map(|t| (t.labels.len() / self.batch_size + 1) * self.epochs)
-            .sum();
+        let total_steps: usize =
+            self.tasks.iter().map(|t| (t.labels.len() / self.batch_size + 1) * self.epochs).sum();
         let mut opt = AdamW::new(LinearSchedule::new(3e-3, 5, total_steps));
         for _epoch in 0..self.epochs {
             for ti in 0..self.tasks.len() {
@@ -180,24 +177,17 @@ impl SherlockModel {
 
     /// Evaluates one task on a split.
     pub fn evaluate(&mut self, kind: TaskKind, split: Split) -> F1Scores {
-        let ti = self
-            .tasks
-            .iter()
-            .position(|t| t.kind == kind)
-            .expect("task not registered");
+        let ti = self.tasks.iter().position(|t| t.kind == kind).expect("task not registered");
         let task = &self.tasks[ti];
-        let idxs: Vec<usize> = (0..task.labels.len())
-            .filter(|&i| task.splits[i] == split)
-            .collect();
+        let idxs: Vec<usize> =
+            (0..task.labels.len()).filter(|&i| task.splits[i] == split).collect();
         let (batch, labels) = Self::batch_tensor(task, &idxs);
         let mut g = Graph::new();
         let x = g.input(batch);
         let h = task.hidden.forward(&mut g, &self.store, x);
         let a = g.relu(h);
         let logits = task.head.forward(&mut g, &self.store, a);
-        let preds: Vec<usize> = (0..idxs.len())
-            .map(|r| g.value(logits).argmax_row(r))
-            .collect();
+        let preds: Vec<usize> = (0..idxs.len()).map(|r| g.value(logits).argmax_row(r)).collect();
         f1_scores(&preds, &labels, task.num_classes)
     }
 }

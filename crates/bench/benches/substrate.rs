@@ -13,11 +13,14 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_substrate(c: &mut Criterion) {
-    let tok = Tokenizer::train(
-        ["costa rica kenya portugal norway country nation city stats"],
-        512,
+    let tok = Tokenizer::train(["costa rica kenya portugal norway country nation city stats"], 512);
+    let enc = encode_column(
+        &tok,
+        "geography of europe",
+        "country",
+        &["costa rica", "kenya", "portugal", "norway"],
+        32,
     );
-    let enc = encode_column(&tok, "geography of europe", "country", &["costa rica", "kenya", "portugal", "norway"], 32);
 
     let mut rng = SmallRng::seed_from_u64(7);
     let mut store = ParamStore::new();

@@ -33,17 +33,23 @@ fn main() {
     };
 
     let mut json = BTreeMap::new();
-    let mut t = TextTable::new([
-        "Variant", "Type wF1", "Relation wF1", "LE sufficiency wF1 (type)",
-    ]);
-    let variants: Vec<(&str, Box<dyn Fn(&mut ExplainTiConfig)>)> = vec![
+    let mut t =
+        TextTable::new(["Variant", "Type wF1", "Relation wF1", "LE sufficiency wF1 (type)"]);
+    type Tweak = Box<dyn Fn(&mut ExplainTiConfig)>;
+    let variants: Vec<(&str, Tweak)> = vec![
         ("attention + KL (paper)", Box::new(|_c: &mut ExplainTiConfig| {})),
-        ("mean pooling", Box::new(|c: &mut ExplainTiConfig| {
-            c.se_aggregation = SeAggregation::MeanPooling;
-        })),
-        ("logit-drop LE", Box::new(|c: &mut ExplainTiConfig| {
-            c.le_scoring = LeScoring::LogitDrop;
-        })),
+        (
+            "mean pooling",
+            Box::new(|c: &mut ExplainTiConfig| {
+                c.se_aggregation = SeAggregation::MeanPooling;
+            }),
+        ),
+        (
+            "logit-drop LE",
+            Box::new(|c: &mut ExplainTiConfig| {
+                c.le_scoring = LeScoring::LogitDrop;
+            }),
+        ),
     ];
     for (name, mutate) in variants {
         eprintln!("[ablation] {name}");
@@ -56,17 +62,15 @@ fn main() {
         };
         let views = extract_explainti_views(&mut m, TaskKind::Type, (3, 1, 1), 29);
         let le_suff = sufficiency_f1(&views.local, num_classes, 5).weighted;
-        t.row([
-            name.to_string(),
-            format!("{ft:.3}"),
-            format!("{fr:.3}"),
-            format!("{le_suff:.3}"),
-        ]);
-        json.insert(name, serde_json::json!({
-            "type_wf1": ft,
-            "relation_wf1": fr,
-            "le_sufficiency_wf1": le_suff,
-        }));
+        t.row([name.to_string(), format!("{ft:.3}"), format!("{fr:.3}"), format!("{le_suff:.3}")]);
+        json.insert(
+            name,
+            serde_json::json!({
+                "type_wf1": ft,
+                "relation_wf1": fr,
+                "le_sufficiency_wf1": le_suff,
+            }),
+        );
     }
     println!("{}", t.render());
     write_json("ablation", &serde_json::to_value(json).unwrap());

@@ -6,7 +6,9 @@
 //! paper's argument that sliding windows suit tables better than
 //! constituent parsing).
 
-use explainti_bench::{explainti_config, git_dataset, pretrained_checkpoint, scale, wiki_dataset, write_json};
+use explainti_bench::{
+    explainti_config, git_dataset, pretrained_checkpoint, scale, wiki_dataset, write_json,
+};
 use explainti_core::{ExplainTi, TaskKind};
 use explainti_encoder::Variant;
 use explainti_metrics::report::TextTable;

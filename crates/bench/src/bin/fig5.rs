@@ -8,7 +8,9 @@
 //! Saliency Map on all three measures.
 
 use explainti_baselines::{build_selfexplain, ContextStrategy, InfluenceExplainer, SeqClassifier};
-use explainti_bench::{explainti_config, pretrained_checkpoint, scale, wiki_dataset, write_json, MAX_SEQ, VOCAB_CAP};
+use explainti_bench::{
+    explainti_config, pretrained_checkpoint, scale, wiki_dataset, write_json, MAX_SEQ, VOCAB_CAP,
+};
 use explainti_core::{build_tokenizer, ExplainTi, TaskKind};
 use explainti_corpus::{Dataset, Split};
 use explainti_encoder::{EncoderConfig, Variant};
@@ -48,7 +50,10 @@ fn judge_all(
     agg
 }
 
-fn explainti_items(model: &mut ExplainTi, test_idx: &[usize]) -> Vec<(usize, usize, JudgedExplanation)> {
+fn explainti_items(
+    model: &mut ExplainTi,
+    test_idx: &[usize],
+) -> Vec<(usize, usize, JudgedExplanation)> {
     test_idx
         .iter()
         .map(|&idx| {
@@ -57,7 +62,12 @@ fn explainti_items(model: &mut ExplainTi, test_idx: &[usize]) -> Vec<(usize, usi
             supporting.extend(p.explanation.top_global(1).iter().map(|g| g.label));
             supporting.extend(p.explanation.top_structural(1).iter().map(|s| s.label));
             let expl = JudgedExplanation {
-                span_texts: p.explanation.top_local_diverse(3).into_iter().map(|s| s.text.clone()).collect(),
+                span_texts: p
+                    .explanation
+                    .top_local_diverse(3)
+                    .into_iter()
+                    .map(|s| s.text.clone())
+                    .collect(),
                 supporting_labels: supporting,
             };
             (idx, p.label, expl)
@@ -118,7 +128,14 @@ fn main() {
                     .map(|t| base.tokenizer().token(enc.ids[t.position]).to_string())
                     .collect();
                 let predicted = base.predict(TaskKind::Type, idx);
-                (idx, predicted, JudgedExplanation { span_texts: vec![words.join(" ")], supporting_labels: vec![] })
+                (
+                    idx,
+                    predicted,
+                    JudgedExplanation {
+                        span_texts: vec![words.join(" ")],
+                        supporting_labels: vec![],
+                    },
+                )
             })
             .collect();
         results.insert("Saliency Map", judge_all(&wiki, &saliency_items, &mut rng));
@@ -128,12 +145,14 @@ fn main() {
             .iter()
             .map(|&idx| {
                 let top = inf.top_k(&mut base, idx, 3);
-                let labels: Vec<usize> = top
-                    .iter()
-                    .map(|&(i, _)| base.samples(TaskKind::Type)[i].1)
-                    .collect();
+                let labels: Vec<usize> =
+                    top.iter().map(|&(i, _)| base.samples(TaskKind::Type)[i].1).collect();
                 let predicted = base.predict(TaskKind::Type, idx);
-                (idx, predicted, JudgedExplanation { span_texts: vec![], supporting_labels: labels })
+                (
+                    idx,
+                    predicted,
+                    JudgedExplanation { span_texts: vec![], supporting_labels: labels },
+                )
             })
             .collect();
         results.insert("Influence Functions", judge_all(&wiki, &influence_items, &mut rng));
@@ -149,12 +168,15 @@ fn main() {
             format!("{:.1}", a.understandability * 100.0),
             format!("{:.2}", a.mean_trust),
         ]);
-        json.insert(method, serde_json::json!({
-            "adequacy": a.adequacy,
-            "understandability": a.understandability,
-            "mean_trust": a.mean_trust,
-            "judgements": a.n,
-        }));
+        json.insert(
+            method,
+            serde_json::json!({
+                "adequacy": a.adequacy,
+                "understandability": a.understandability,
+                "mean_trust": a.mean_trust,
+                "judgements": a.n,
+            }),
+        );
     }
     println!("{}", t.render());
     write_json("fig5", &serde_json::to_value(json).unwrap());

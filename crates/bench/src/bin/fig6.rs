@@ -19,11 +19,7 @@ fn main() {
     m.train();
 
     // Prefer a location.country test column, matching the paper's figure.
-    let country = wiki
-        .collection
-        .type_labels
-        .iter()
-        .position(|l| l == "location.country");
+    let country = wiki.collection.type_labels.iter().position(|l| l == "location.country");
     let cols = wiki.collection.annotated_columns();
     let sample_idx = (0..cols.len())
         .filter(|&i| wiki.table_split[cols[i].0.table] == Split::Test)
@@ -36,11 +32,7 @@ fn main() {
     let col = &table.columns[cref.col];
     let p = m.predict(TaskKind::Type, sample_idx);
     let label_name = |l: usize| {
-        wiki.collection
-            .type_labels
-            .get(l)
-            .cloned()
-            .unwrap_or_else(|| format!("label#{l}"))
+        wiki.collection.type_labels.get(l).cloned().unwrap_or_else(|| format!("label#{l}"))
     };
 
     println!("Input column");

@@ -16,8 +16,14 @@ fn main() {
     let git = git_dataset(s);
 
     let mut t = TextTable::new([
-        "Name", "type", "# tables", "Avg. # rows", "Avg. # cols", "# labels",
-        "# type samples", "# rel samples",
+        "Name",
+        "type",
+        "# tables",
+        "Avg. # rows",
+        "Avg. # cols",
+        "# labels",
+        "# type samples",
+        "# rel samples",
     ]);
     let mut rows_json = Vec::new();
     for d in [&wiki, &git] {
@@ -29,7 +35,11 @@ fn main() {
         };
         t.row([
             st.name.clone(),
-            if st.name.starts_with("wiki") { "Web tables".into() } else { "database tables".into() },
+            if st.name.starts_with("wiki") {
+                "Web tables".into()
+            } else {
+                "database tables".into()
+            },
             st.num_tables.to_string(),
             format!("{:.1}", st.avg_rows),
             format!("{:.1}", st.avg_cols),

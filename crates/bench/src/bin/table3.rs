@@ -9,7 +9,9 @@
 //!
 //! Set `EXPLAINTI_FAST=1` to skip the ablation and RoBERTa rows.
 
-use explainti_baselines::{build_selfexplain, ContextStrategy, FeatureModel, SeqClassifier, SherlockModel};
+use explainti_baselines::{
+    build_selfexplain, ContextStrategy, FeatureModel, SeqClassifier, SherlockModel,
+};
 use explainti_bench::{
     dash_cells, explainti_config, f1_cells, git_dataset, pretrained_checkpoint, scale,
     wiki_dataset, write_json, MAX_SEQ, VOCAB_CAP,
@@ -135,9 +137,17 @@ fn main() {
     log("pre-training encoder checkpoints");
     let ckpts = Ckpts {
         wiki_bert: pretrained_checkpoint(&wiki, Variant::BertLike),
-        wiki_roberta: if fast { Vec::new() } else { pretrained_checkpoint(&wiki, Variant::RobertaLike) },
+        wiki_roberta: if fast {
+            Vec::new()
+        } else {
+            pretrained_checkpoint(&wiki, Variant::RobertaLike)
+        },
         git_bert: pretrained_checkpoint(&git, Variant::BertLike),
-        git_roberta: if fast { Vec::new() } else { pretrained_checkpoint(&git, Variant::RobertaLike) },
+        git_roberta: if fast {
+            Vec::new()
+        } else {
+            pretrained_checkpoint(&git, Variant::RobertaLike)
+        },
     };
 
     let mut rows: Vec<(String, Row)> = Vec::new();
@@ -172,11 +182,8 @@ fn main() {
         rows.push(("SelfExplain".into(), row));
     }
 
-    let variants: &[Variant] = if fast {
-        &[Variant::BertLike]
-    } else {
-        &[Variant::BertLike, Variant::RobertaLike]
-    };
+    let variants: &[Variant] =
+        if fast { &[Variant::BertLike] } else { &[Variant::BertLike, Variant::RobertaLike] };
     for &variant in variants {
         let vname = match variant {
             Variant::BertLike => "BERT",
@@ -214,9 +221,15 @@ fn main() {
 
     let mut t = TextTable::new([
         "Method",
-        "WikiType-miF1", "WikiType-maF1", "WikiType-wF1",
-        "WikiRel-miF1", "WikiRel-maF1", "WikiRel-wF1",
-        "GitType-miF1", "GitType-maF1", "GitType-wF1",
+        "WikiType-miF1",
+        "WikiType-maF1",
+        "WikiType-wF1",
+        "WikiRel-miF1",
+        "WikiRel-maF1",
+        "WikiRel-wF1",
+        "GitType-miF1",
+        "GitType-maF1",
+        "GitType-wF1",
     ]);
     let mut json = BTreeMap::new();
     for (name, row) in &rows {

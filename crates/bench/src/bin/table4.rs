@@ -19,7 +19,9 @@ use explainti_corpus::Dataset;
 use explainti_encoder::{EncoderConfig, Variant};
 use explainti_metrics::report::TextTable;
 use explainti_metrics::F1Scores;
-use explainti_xeval::{extract_explainti_views, extract_influence, extract_saliency, sufficiency_f1, TextInstance};
+use explainti_xeval::{
+    extract_explainti_views, extract_influence, extract_saliency, sufficiency_f1, TextInstance,
+};
 use std::collections::BTreeMap;
 
 struct TaskRun {
@@ -88,15 +90,24 @@ fn main() {
             let mut se = build_selfexplain(&run.dataset, cfg);
             se.train();
             let se_views = extract_explainti_views(&mut se, run.kind, (3, 3, 0), 13);
-            record("SelfExplain-Local", run.name, sufficiency_f1(&se_views.local, run.num_classes, 5));
-            record("SelfExplain-Global", run.name, sufficiency_f1(&se_views.global, run.num_classes, 5));
+            record(
+                "SelfExplain-Local",
+                run.name,
+                sufficiency_f1(&se_views.local, run.num_classes, 5),
+            );
+            record(
+                "SelfExplain-Global",
+                run.name,
+                sufficiency_f1(&se_views.global, run.num_classes, 5),
+            );
         }
 
         // Post-hoc explainers on a trained base transformer.
         {
             let tok = build_tokenizer(&run.dataset, VOCAB_CAP);
             let cfg = EncoderConfig::roberta_like(tok.vocab_size(), MAX_SEQ);
-            let mut base = SeqClassifier::new(&run.dataset, &tok, cfg, ContextStrategy::PerColumn, 3);
+            let mut base =
+                SeqClassifier::new(&run.dataset, &tok, cfg, ContextStrategy::PerColumn, 3);
             base.train();
             let sal = extract_saliency(&mut base, run.kind, 10);
             record("Saliency Map", run.name, sufficiency_f1(&sal, run.num_classes, 5));
@@ -116,9 +127,15 @@ fn main() {
     ];
     let mut t = TextTable::new([
         "Method",
-        "WikiType-miF1", "WikiType-maF1", "WikiType-wF1",
-        "WikiRel-miF1", "WikiRel-maF1", "WikiRel-wF1",
-        "GitType-miF1", "GitType-maF1", "GitType-wF1",
+        "WikiType-miF1",
+        "WikiType-maF1",
+        "WikiType-wF1",
+        "WikiRel-miF1",
+        "WikiRel-maF1",
+        "WikiRel-wF1",
+        "GitType-miF1",
+        "GitType-maF1",
+        "GitType-wF1",
     ]);
     let mut json = BTreeMap::new();
     for method in order {

@@ -8,7 +8,7 @@
 
 use explainti_bench::{explainti_config, git_dataset, scale, wiki_dataset, write_json};
 use explainti_core::{ExplainTi, ExplainTiConfig, TaskKind};
-use explainti_corpus::{Dataset, Split};
+use explainti_corpus::Dataset;
 use explainti_encoder::Variant;
 use explainti_metrics::{fmt_duration, report::TextTable};
 use std::collections::BTreeMap;
@@ -29,12 +29,8 @@ fn measure(dataset: &Dataset, cfg: ExplainTiConfig) -> Vec<(TaskKind, Duration, 
     let kinds: Vec<TaskKind> = m.tasks().iter().map(|t| t.data.kind).collect();
     let mut out = Vec::new();
     for kind in kinds {
-        let train_time: Duration = report
-            .epochs
-            .iter()
-            .filter(|e| e.task == kind)
-            .map(|e| e.elapsed)
-            .sum();
+        let train_time: Duration =
+            report.epochs.iter().filter(|e| e.task == kind).map(|e| e.elapsed).sum();
         // Test time = producing predictions WITH explanations over the
         // test split, which is what the paper's Table V charges each
         // explainable module for.

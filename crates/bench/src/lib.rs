@@ -97,11 +97,7 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
 
 /// Formats an F1 triple as three table cells.
 pub fn f1_cells(f1: explainti_metrics::F1Scores) -> [String; 3] {
-    [
-        format!("{:.3}", f1.micro),
-        format!("{:.3}", f1.macro_),
-        format!("{:.3}", f1.weighted),
-    ]
+    [format!("{:.3}", f1.micro), format!("{:.3}", f1.macro_), format!("{:.3}", f1.weighted)]
 }
 
 /// Dash cells for unsupported tasks.

@@ -1,9 +1,10 @@
 //! ExplainTI hyper-parameters and ablation switches.
 
 use explainti_encoder::{EncoderConfig, Variant};
+use serde::{Deserialize, Serialize};
 
 /// Which table-interpretation task a dataset/graph/heads bundle serves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TaskKind {
     /// Column type prediction.
     Type,

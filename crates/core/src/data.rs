@@ -44,6 +44,7 @@ pub struct TaskData {
 impl TaskData {
     /// Serialises the column-type task of `dataset`.
     pub fn prepare_type(dataset: &Dataset, tok: &Tokenizer, max_seq: usize, use_pp: bool) -> Self {
+        let _span = explainti_obs::span!("data.tokenize.type");
         let (graph, refs) = ColumnGraph::build_type(&dataset.collection);
         let annotated = dataset.collection.annotated_columns();
         debug_assert_eq!(refs.len(), annotated.len());
@@ -74,7 +75,13 @@ impl TaskData {
     }
 
     /// Serialises the column-relation task of `dataset`.
-    pub fn prepare_relation(dataset: &Dataset, tok: &Tokenizer, max_seq: usize, use_pp: bool) -> Self {
+    pub fn prepare_relation(
+        dataset: &Dataset,
+        tok: &Tokenizer,
+        max_seq: usize,
+        use_pp: bool,
+    ) -> Self {
+        let _span = explainti_obs::span!("data.tokenize.relation");
         let (graph, refs) = ColumnGraph::build_relation(&dataset.collection);
         let annotated = dataset.collection.annotated_pairs();
         debug_assert_eq!(refs.len(), annotated.len());
@@ -90,7 +97,13 @@ impl TaskData {
                 };
                 Sample {
                     encoded: encode_column_pair(
-                        tok, &table.title, &s.header, &cs, &o.header, &co, max_seq,
+                        tok,
+                        &table.title,
+                        &s.header,
+                        &cs,
+                        &o.header,
+                        &co,
+                        max_seq,
                     ),
                     label: *label,
                     split: dataset.table_split[pref.table],
@@ -137,6 +150,7 @@ fn split_indices(samples: &[Sample]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
 /// Builds the tokenizer vocabulary from the *training* tables only (no
 /// test leakage into the vocabulary).
 pub fn build_tokenizer(dataset: &Dataset, max_vocab: usize) -> Tokenizer {
+    let _span = explainti_obs::span!("data.build_tokenizer");
     let mut texts: Vec<String> = Vec::new();
     for (ti, table) in dataset.collection.tables.iter().enumerate() {
         if dataset.table_split[ti] != Split::Train {
@@ -168,10 +182,7 @@ mod tests {
         let tok = build_tokenizer(&d, 2048);
         let t = TaskData::prepare_type(&d, &tok, 32, false);
         assert_eq!(t.samples.len(), t.graph.num_nodes());
-        assert_eq!(
-            t.samples.len(),
-            t.train_idx.len() + t.valid_idx.len() + t.test_idx.len()
-        );
+        assert_eq!(t.samples.len(), t.train_idx.len() + t.valid_idx.len() + t.test_idx.len());
     }
 
     #[test]
@@ -203,11 +214,7 @@ mod tests {
     fn tokenizer_uses_only_training_tables() {
         let mut d = dataset();
         // Inject a unique word into a test table; it must not enter vocab.
-        let test_table = d
-            .table_split
-            .iter()
-            .position(|&s| s == Split::Test)
-            .unwrap();
+        let test_table = d.table_split.iter().position(|&s| s == Split::Test).unwrap();
         d.collection.tables[test_table].title = "zzzuniquemarker".to_string();
         let tok = build_tokenizer(&d, 4096);
         assert!(tok.id("zzzuniquemarker").is_none());

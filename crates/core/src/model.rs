@@ -28,7 +28,7 @@ use crate::store::EmbeddingStore;
 use explainti_corpus::{Dataset, Split};
 use explainti_encoder::TransformerEncoder;
 use explainti_metrics::{f1_scores, F1Scores};
-use explainti_nn::{softmax, kl_divergence, Graph, Linear, NodeId, ParamStore, Tensor};
+use explainti_nn::{kl_divergence, softmax, Graph, Linear, NodeId, ParamStore, Tensor};
 use explainti_tokenizer::Tokenizer;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -95,7 +95,8 @@ impl ExplainTi {
         let d = encoder.d_model();
 
         let mut tasks = Vec::new();
-        let type_data = TaskData::prepare_type(dataset, &tokenizer, cfg.encoder.max_seq, cfg.use_pp);
+        let type_data =
+            TaskData::prepare_type(dataset, &tokenizer, cfg.encoder.max_seq, cfg.use_pp);
         tasks.push(TaskState {
             heads: TaskHeads {
                 w: Linear::new(&mut store, "type.w", d, type_data.num_classes, &mut rng),
@@ -157,7 +158,13 @@ impl ExplainTi {
                 seqs.push(task.data.samples[idx].encoded.clone());
             }
         }
-        explainti_encoder::mlm::pretrain_mlm(&self.encoder, &mut self.store, &seqs, cfg, &mut self.rng)
+        explainti_encoder::mlm::pretrain_mlm(
+            &self.encoder,
+            &mut self.store,
+            &seqs,
+            cfg,
+            &mut self.rng,
+        )
     }
 
     /// Exports the encoder weights (to share a pre-trained checkpoint
@@ -174,6 +181,7 @@ impl ExplainTi {
     /// Runs the encoder over every training sample of `task` and rebuilds
     /// the embedding store `Q` (Algorithm 2's initialisation/refresh).
     pub fn refresh_store(&mut self, task: usize) {
+        let _span = explainti_obs::span!("store.refresh");
         let train: Vec<usize> = self.tasks[task].data.train_idx.clone();
         for idx in train {
             let enc = self.tasks[task].data.samples[idx].encoded.clone();
@@ -217,12 +225,11 @@ impl ExplainTi {
         training: bool,
         with_views: bool,
     ) -> SampleForward {
+        let _span = explainti_obs::span!("model.forward");
         let kind = self.tasks[task].data.kind;
         let encoded = encoded.clone();
         let mut g = Graph::new();
-        let emb = self
-            .encoder
-            .forward(&mut g, &self.store, &encoded, training, &mut self.rng);
+        let emb = self.encoder.forward(&mut g, &self.store, &encoded, training, &mut self.rng);
         let cls = self.encoder.cls(&mut g, emb);
         let cls_value = g.value(cls).clone();
 
@@ -251,15 +258,7 @@ impl ExplainTi {
             (None, Vec::new())
         };
 
-        SampleForward {
-            graph: g,
-            final_logits,
-            l_l,
-            l_g,
-            local_spans,
-            global_infl,
-            structural,
-        }
+        SampleForward { graph: g, final_logits, l_l, l_g, local_spans, global_infl, structural }
     }
 
     /// Algorithm 1: sliding-window relevance scores and local logits.
@@ -273,6 +272,7 @@ impl ExplainTi {
         encoded: &explainti_tokenizer::Encoded,
         kind: TaskKind,
     ) -> (Option<NodeId>, Vec<LocalSpan>) {
+        let _span = explainti_obs::span!("explain.le");
         let k = self.cfg.window;
         let len = encoded.len;
         // Enumerate concept anchors `(start, len, paired_start)`: sliding
@@ -406,7 +406,9 @@ impl ExplainTi {
                 LocalSpan { start: j, window: wlen, pair_start: js, text, relevance }
             })
             .collect();
-        spans.sort_by(|a, b| b.relevance.partial_cmp(&a.relevance).unwrap_or(std::cmp::Ordering::Equal));
+        spans.sort_by(|a, b| {
+            b.relevance.partial_cmp(&a.relevance).unwrap_or(std::cmp::Ordering::Equal)
+        });
         (l_l, spans)
     }
 
@@ -420,6 +422,7 @@ impl ExplainTi {
         node: Option<usize>,
         training: bool,
     ) -> (Option<NodeId>, Vec<GlobalInfluence>) {
+        let _span = explainti_obs::span!("explain.ge");
         let exclude = if training { node } else { None };
         let found = self.tasks[task].q.top_k(cls_value, self.cfg.top_k, exclude);
         if found.is_empty() {
@@ -430,10 +433,7 @@ impl ExplainTi {
         let mut q_raw = Tensor::zeros(kn, d);
         let mut q_hat = Tensor::zeros(kn, d);
         for (r, n) in found.iter().enumerate() {
-            let e = self.tasks[task]
-                .q
-                .get(n.id)
-                .expect("retrieved neighbour must be stored");
+            let e = self.tasks[task].q.get(n.id).expect("retrieved neighbour must be stored");
             q_raw.row_slice_mut(r).copy_from_slice(e.as_slice());
             let norm = e.norm().max(1e-6);
             for (dst, &src) in q_hat.row_slice_mut(r).iter_mut().zip(e.as_slice()) {
@@ -460,7 +460,9 @@ impl ExplainTi {
                 label: self.tasks[task].q.label(n.id).unwrap_or(usize::MAX),
             })
             .collect();
-        infl.sort_by(|a, b| b.influence.partial_cmp(&a.influence).unwrap_or(std::cmp::Ordering::Equal));
+        infl.sort_by(|a, b| {
+            b.influence.partial_cmp(&a.influence).unwrap_or(std::cmp::Ordering::Equal)
+        });
         (Some(l_g), infl)
     }
 
@@ -474,6 +476,7 @@ impl ExplainTi {
         node: Option<usize>,
         training: bool,
     ) -> (NodeId, Vec<StructuralNeighbor>) {
+        let _span = explainti_obs::span!("explain.se");
         let r = self.cfg.sample_r;
         let state = &self.tasks[task];
         let q = &state.q;
@@ -485,18 +488,12 @@ impl ExplainTi {
             Some(sample_idx) => {
                 let pred = |n: usize| n != sample_idx && q.has(n);
                 if training {
-                    state
-                        .data
-                        .graph
-                        .sample_neighbors(sample_idx, r, Some(&pred), &mut self.rng)
+                    state.data.graph.sample_neighbors(sample_idx, r, Some(&pred), &mut self.rng)
                 } else {
                     let mut eval_rng = SmallRng::seed_from_u64(
                         self.cfg.seed ^ (sample_idx as u64).wrapping_mul(0x9e3779b97f4a7c15),
                     );
-                    state
-                        .data
-                        .graph
-                        .sample_neighbors(sample_idx, r, Some(&pred), &mut eval_rng)
+                    state.data.graph.sample_neighbors(sample_idx, r, Some(&pred), &mut eval_rng)
                 }
             }
             None => Vec::new(),
@@ -510,8 +507,7 @@ impl ExplainTi {
         } else {
             let mut m = Tensor::zeros(sampled.len(), d);
             for (row, &n) in sampled.iter().enumerate() {
-                m.row_slice_mut(row)
-                    .copy_from_slice(self.tasks[task].q.get(n).unwrap().as_slice());
+                m.row_slice_mut(row).copy_from_slice(self.tasks[task].q.get(n).unwrap().as_slice());
             }
             (m, sampled)
         };
@@ -552,16 +548,11 @@ impl ExplainTi {
             .map(|(node, attention)| StructuralNeighbor {
                 node,
                 attention,
-                label: self.tasks[task]
-                    .q
-                    .label(node)
-                    .unwrap_or(usize::MAX),
+                label: self.tasks[task].q.label(node).unwrap_or(usize::MAX),
             })
             .collect();
         structural.sort_by(|a, b| {
-            b.attention
-                .partial_cmp(&a.attention)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.attention.partial_cmp(&a.attention).unwrap_or(std::cmp::Ordering::Equal)
         });
         (logits, structural)
     }
@@ -613,6 +604,7 @@ impl ExplainTi {
 
     /// Evaluates F1 over a split of a task.
     pub fn evaluate(&mut self, kind: TaskKind, split: Split) -> F1Scores {
+        let _span = explainti_obs::span!("evaluate");
         let task = self.task_index(kind).expect("task not registered");
         let indices = self.tasks[task].data.indices(split).to_vec();
         let num_classes = self.tasks[task].data.num_classes;
@@ -655,14 +647,7 @@ mod tests {
         // structural view is populated (isolated nodes legitimately fall
         // back to an empty structural view).
         let sample = (0..m.tasks[0].data.samples.len())
-            .find(|&i| {
-                m.tasks[0]
-                    .data
-                    .graph
-                    .neighbors(i)
-                    .iter()
-                    .any(|&n| m.tasks[0].q.has(n))
-            })
+            .find(|&i| m.tasks[0].data.graph.neighbors(i).iter().any(|&n| m.tasks[0].q.has(n)))
             .expect("some sample has stored neighbours");
         let fwd = m.forward_sample(0, sample, false);
         assert!(fwd.l_l.is_some(), "LE missing");
@@ -716,10 +701,7 @@ mod tests {
     #[test]
     fn ablations_drop_their_views() {
         let d = generate_wiki(&WikiConfig { num_tables: 40, seed: 22, ..Default::default() });
-        let cfg = ExplainTiConfig::bert_like(2048, 32)
-            .without("le")
-            .without("ge")
-            .without("se");
+        let cfg = ExplainTiConfig::bert_like(2048, 32).without("le").without("ge").without("se");
         let mut m = ExplainTi::new(&d, cfg);
         m.refresh_store(0);
         let fwd = m.forward_sample(0, 0, false);
@@ -736,7 +718,10 @@ mod tests {
         let p = m.predict(TaskKind::Type, 1);
         let total: f32 = p.probs.iter().sum();
         assert!((total - 1.0).abs() < 1e-4);
-        assert_eq!(p.label, p.probs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0);
+        assert_eq!(
+            p.label,
+            p.probs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        );
     }
 
     #[test]

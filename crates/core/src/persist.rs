@@ -38,7 +38,10 @@ pub fn decode_weights(mut data: &[u8]) -> io::Result<Vec<f32>> {
     if data.remaining() != n * 4 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("checkpoint payload mismatch: header says {n} weights, body has {} bytes", data.remaining()),
+            format!(
+                "checkpoint payload mismatch: header says {n} weights, body has {} bytes",
+                data.remaining()
+            ),
         ));
     }
     let mut out = Vec::with_capacity(n);

@@ -73,6 +73,7 @@ impl EmbeddingStore {
     /// Rebuilds the HNSW index over all stored embeddings. Call after a
     /// refresh pass (every `refresh_epochs` epochs, per the paper).
     pub fn rebuild_index(&mut self) {
+        let _span = explainti_obs::span!("store.rebuild_index");
         let mut index = HnswIndex::new(Metric::Cosine, HnswConfig::default());
         for (i, emb) in self.embeddings.iter().enumerate() {
             if let Some(e) = emb {
@@ -81,6 +82,7 @@ impl EmbeddingStore {
         }
         self.index = Some(index);
         self.version += 1;
+        explainti_obs::set_gauge("store.indexed_embeddings", self.stored() as f64);
     }
 
     /// Top-`k` most similar stored samples to `query`, optionally
@@ -109,9 +111,7 @@ impl EmbeddingStore {
                     })
                     .collect();
                 all.sort_by(|a, b| {
-                    b.similarity
-                        .partial_cmp(&a.similarity)
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    b.similarity.partial_cmp(&a.similarity).unwrap_or(std::cmp::Ordering::Equal)
                 });
                 all.truncate(fetch);
                 all

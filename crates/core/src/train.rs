@@ -15,10 +15,14 @@ use explainti_corpus::Split;
 use explainti_metrics::F1Scores;
 use explainti_nn::{AdamW, LinearSchedule};
 use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Per-epoch, per-task training log entry.
-#[derive(Debug, Clone)]
+///
+/// Serialises with durations as fractional seconds, so `--report-out`
+/// files are plain JSON numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpochLog {
     /// Epoch number (0-based).
     pub epoch: usize,
@@ -33,7 +37,7 @@ pub struct EpochLog {
 }
 
 /// Outcome of [`ExplainTi::train`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrainReport {
     /// Per-epoch logs (one entry per task per epoch).
     pub epochs: Vec<EpochLog>,
@@ -46,6 +50,10 @@ pub struct TrainReport {
 impl ExplainTi {
     /// Fine-tunes the model per Algorithm 5 and restores the best epoch.
     pub fn train(&mut self) -> TrainReport {
+        // The span feeds telemetry; the `Instant` stays because
+        // `TrainReport` is a functional output and must carry timings
+        // even when telemetry is off.
+        let _train_span = explainti_obs::span!("train.total");
         let t0 = Instant::now();
         let mut report = TrainReport::default();
 
@@ -70,6 +78,7 @@ impl ExplainTi {
         let mut best_epoch = 0usize;
 
         for epoch in 0..self.cfg.epochs {
+            let _epoch_span = explainti_obs::span!("train.epoch");
             if needs_store && epoch > 0 && epoch % self.cfg.refresh_epochs == 0 {
                 for task in 0..num_tasks {
                     self.refresh_store(task);
@@ -78,6 +87,7 @@ impl ExplainTi {
 
             let mut epoch_score = 0.0f64;
             for task in 0..num_tasks {
+                let _task_span = explainti_obs::span!("train.task");
                 let t_task = Instant::now();
                 let mut order = self.tasks[task].data.train_idx.clone();
                 order.shuffle(&mut self.rng);
@@ -127,6 +137,7 @@ impl ExplainTi {
 
     /// One sample's forward/backward pass; returns the joint loss value.
     fn train_step(&mut self, task: usize, idx: usize) -> f32 {
+        let _span = explainti_obs::span!("train.step");
         let label = self.tasks[task].data.samples[idx].label;
         let fwd = self.forward_sample(task, idx, true);
         let mut g = fwd.graph;

@@ -15,11 +15,7 @@ fn adhoc_column_prediction_works_without_graph_node() {
     cfg.epochs = 2;
     let mut m = ExplainTi::new(&d, cfg);
     m.train();
-    let p = m.predict_column(
-        "1994 world cup",
-        "country",
-        &["costa rica", "morocco", "norway"],
-    );
+    let p = m.predict_column("1994 world cup", "country", &["costa rica", "morocco", "norway"]);
     assert!(p.label < d.collection.type_labels.len());
     assert!((p.probs.iter().sum::<f32>() - 1.0).abs() < 1e-3);
     // LE and GE still produce explanations; SE has no graph node.
@@ -97,9 +93,6 @@ fn checkpoint_roundtrip_through_disk() {
 
     let mut fresh = ExplainTi::new(&d, cfg);
     fresh.load_weights(&path).unwrap();
-    assert_eq!(
-        m.predict(TaskKind::Type, 0).label,
-        fresh.predict(TaskKind::Type, 0).label
-    );
+    assert_eq!(m.predict(TaskKind::Type, 0).label, fresh.predict(TaskKind::Type, 0).label);
     std::fs::remove_file(path).ok();
 }

@@ -33,121 +33,395 @@ pub fn shared_pool(group: usize) -> &'static [&'static str] {
 
 const SHARED_POOLS: &[&[&str]] = &[
     // 0: people-ish names.
-    &["jordan taylor", "casey morgan", "alex reed", "sam parker", "jamie brooks",
-      "riley hayes", "drew campbell", "quinn foster", "avery mitchell", "logan price"],
+    &[
+        "jordan taylor",
+        "casey morgan",
+        "alex reed",
+        "sam parker",
+        "jamie brooks",
+        "riley hayes",
+        "drew campbell",
+        "quinn foster",
+        "avery mitchell",
+        "logan price",
+    ],
     // 1: place-ish names.
-    &["georgia", "san marino", "victoria", "jersey", "cordoba",
-      "santiago", "valencia", "monterrey", "alexandria", "hamilton"],
+    &[
+        "georgia",
+        "san marino",
+        "victoria",
+        "jersey",
+        "cordoba",
+        "santiago",
+        "valencia",
+        "monterrey",
+        "alexandria",
+        "hamilton",
+    ],
     // 2: org-ish names.
-    &["united", "city fc", "athletic club", "rangers", "dynamo",
-      "olympia", "national", "central", "union", "metro"],
+    &[
+        "united",
+        "city fc",
+        "athletic club",
+        "rangers",
+        "dynamo",
+        "olympia",
+        "national",
+        "central",
+        "union",
+        "metro",
+    ],
     // 3: work-title-ish names.
-    &["the return", "horizon", "legacy", "the crossing", "night falls",
-      "echoes", "the long road", "aurora", "second chance", "the gift"],
+    &[
+        "the return",
+        "horizon",
+        "legacy",
+        "the crossing",
+        "night falls",
+        "echoes",
+        "the long road",
+        "aurora",
+        "second chance",
+        "the gift",
+    ],
     // 4: numeric-ish tokens.
     &["12", "45", "103", "7", "88", "230", "5", "61", "19", "340"],
 ];
 
 /// The Wiki-like type system (24 types across 8 confusion groups).
 pub const WIKI_TYPES: &[TypeSpec] = &[
-    TypeSpec { name: "people.person", headers: &["name", "person"],
-        core_pool: &["maria delgado", "henrik olsen", "amara okafor", "luca moretti",
-            "yuki tanaka", "fatima zahra", "piotr kowalski", "elena petrova"],
-        confusion_group: 0 },
-    TypeSpec { name: "people.basketball_player", headers: &["player", "guard", "forward"],
-        core_pool: &["les jepsen", "bo kimble", "gary payton", "dennis scott",
-            "derrick coleman", "lionel simmons", "kendall gill", "chris jackson"],
-        confusion_group: 0 },
-    TypeSpec { name: "people.coach", headers: &["coach", "manager", "head coach"],
-        core_pool: &["phil jackson", "pat riley", "gregg popovich", "don nelson",
-            "lenny wilkens", "chuck daly", "jerry sloan", "rick adelman"],
-        confusion_group: 0 },
-    TypeSpec { name: "people.politician", headers: &["politician", "senator", "mayor"],
-        core_pool: &["angela merkel", "shinzo abe", "jacinda ardern", "justin trudeau",
-            "nelson mandela", "golda meir", "vaclav havel", "lee kuan yew"],
-        confusion_group: 0 },
-    TypeSpec { name: "location.country", headers: &["country", "nation", "nationality"],
-        core_pool: &["costa rica", "guatemala", "kenya", "portugal", "norway",
-            "vietnam", "morocco", "uruguay", "finland", "nepal"],
-        confusion_group: 1 },
-    TypeSpec { name: "location.city", headers: &["city", "town", "host city"],
-        core_pool: &["barcelona", "kyoto", "nairobi", "porto", "bergen",
-            "hanoi", "casablanca", "montevideo", "tampere", "pokhara"],
-        confusion_group: 1 },
-    TypeSpec { name: "location.location", headers: &["location", "place", "venue"],
-        core_pool: &["mount kilimanjaro", "lake geneva", "sahara desert", "rhine valley",
-            "gobi desert", "amazon basin", "nile delta", "great barrier reef"],
-        confusion_group: 1 },
-    TypeSpec { name: "location.stadium", headers: &["stadium", "arena", "ground"],
-        core_pool: &["camp nou", "madison square garden", "wembley", "maracana",
-            "old trafford", "staples center", "san siro", "signal iduna park"],
-        confusion_group: 1 },
-    TypeSpec { name: "sports.team", headers: &["team", "nba team", "club"],
-        core_pool: &["golden state warriors", "chicago bulls", "boston celtics",
-            "los angeles lakers", "detroit pistons", "phoenix suns",
-            "portland trail blazers", "miami heat"],
-        confusion_group: 2 },
-    TypeSpec { name: "sports.league", headers: &["league", "division", "competition"],
-        core_pool: &["premier league", "la liga", "bundesliga", "serie a",
-            "eredivisie", "ligue 1", "mls", "j league"],
-        confusion_group: 2 },
-    TypeSpec { name: "organization.company", headers: &["company", "sponsor", "employer"],
-        core_pool: &["acme industries", "globex corporation", "initech", "umbrella corp",
-            "stark industries", "wayne enterprises", "tyrell corp", "cyberdyne systems"],
-        confusion_group: 2 },
-    TypeSpec { name: "organization.university", headers: &["university", "college", "school"],
-        core_pool: &["university of zagreb", "kyoto university", "mcgill university",
-            "university of cape town", "trinity college", "uppsala university",
-            "charles university", "university of otago"],
-        confusion_group: 2 },
-    TypeSpec { name: "time.year", headers: &["year", "season", "draft year"],
+    TypeSpec {
+        name: "people.person",
+        headers: &["name", "person"],
+        core_pool: &[
+            "maria delgado",
+            "henrik olsen",
+            "amara okafor",
+            "luca moretti",
+            "yuki tanaka",
+            "fatima zahra",
+            "piotr kowalski",
+            "elena petrova",
+        ],
+        confusion_group: 0,
+    },
+    TypeSpec {
+        name: "people.basketball_player",
+        headers: &["player", "guard", "forward"],
+        core_pool: &[
+            "les jepsen",
+            "bo kimble",
+            "gary payton",
+            "dennis scott",
+            "derrick coleman",
+            "lionel simmons",
+            "kendall gill",
+            "chris jackson",
+        ],
+        confusion_group: 0,
+    },
+    TypeSpec {
+        name: "people.coach",
+        headers: &["coach", "manager", "head coach"],
+        core_pool: &[
+            "phil jackson",
+            "pat riley",
+            "gregg popovich",
+            "don nelson",
+            "lenny wilkens",
+            "chuck daly",
+            "jerry sloan",
+            "rick adelman",
+        ],
+        confusion_group: 0,
+    },
+    TypeSpec {
+        name: "people.politician",
+        headers: &["politician", "senator", "mayor"],
+        core_pool: &[
+            "angela merkel",
+            "shinzo abe",
+            "jacinda ardern",
+            "justin trudeau",
+            "nelson mandela",
+            "golda meir",
+            "vaclav havel",
+            "lee kuan yew",
+        ],
+        confusion_group: 0,
+    },
+    TypeSpec {
+        name: "location.country",
+        headers: &["country", "nation", "nationality"],
+        core_pool: &[
+            "costa rica",
+            "guatemala",
+            "kenya",
+            "portugal",
+            "norway",
+            "vietnam",
+            "morocco",
+            "uruguay",
+            "finland",
+            "nepal",
+        ],
+        confusion_group: 1,
+    },
+    TypeSpec {
+        name: "location.city",
+        headers: &["city", "town", "host city"],
+        core_pool: &[
+            "barcelona",
+            "kyoto",
+            "nairobi",
+            "porto",
+            "bergen",
+            "hanoi",
+            "casablanca",
+            "montevideo",
+            "tampere",
+            "pokhara",
+        ],
+        confusion_group: 1,
+    },
+    TypeSpec {
+        name: "location.location",
+        headers: &["location", "place", "venue"],
+        core_pool: &[
+            "mount kilimanjaro",
+            "lake geneva",
+            "sahara desert",
+            "rhine valley",
+            "gobi desert",
+            "amazon basin",
+            "nile delta",
+            "great barrier reef",
+        ],
+        confusion_group: 1,
+    },
+    TypeSpec {
+        name: "location.stadium",
+        headers: &["stadium", "arena", "ground"],
+        core_pool: &[
+            "camp nou",
+            "madison square garden",
+            "wembley",
+            "maracana",
+            "old trafford",
+            "staples center",
+            "san siro",
+            "signal iduna park",
+        ],
+        confusion_group: 1,
+    },
+    TypeSpec {
+        name: "sports.team",
+        headers: &["team", "nba team", "club"],
+        core_pool: &[
+            "golden state warriors",
+            "chicago bulls",
+            "boston celtics",
+            "los angeles lakers",
+            "detroit pistons",
+            "phoenix suns",
+            "portland trail blazers",
+            "miami heat",
+        ],
+        confusion_group: 2,
+    },
+    TypeSpec {
+        name: "sports.league",
+        headers: &["league", "division", "competition"],
+        core_pool: &[
+            "premier league",
+            "la liga",
+            "bundesliga",
+            "serie a",
+            "eredivisie",
+            "ligue 1",
+            "mls",
+            "j league",
+        ],
+        confusion_group: 2,
+    },
+    TypeSpec {
+        name: "organization.company",
+        headers: &["company", "sponsor", "employer"],
+        core_pool: &[
+            "acme industries",
+            "globex corporation",
+            "initech",
+            "umbrella corp",
+            "stark industries",
+            "wayne enterprises",
+            "tyrell corp",
+            "cyberdyne systems",
+        ],
+        confusion_group: 2,
+    },
+    TypeSpec {
+        name: "organization.university",
+        headers: &["university", "college", "school"],
+        core_pool: &[
+            "university of zagreb",
+            "kyoto university",
+            "mcgill university",
+            "university of cape town",
+            "trinity college",
+            "uppsala university",
+            "charles university",
+            "university of otago",
+        ],
+        confusion_group: 2,
+    },
+    TypeSpec {
+        name: "time.year",
+        headers: &["year", "season", "draft year"],
         core_pool: &["1990", "1994", "2002", "2008", "2014", "1987", "1999", "2016"],
-        confusion_group: 4 },
-    TypeSpec { name: "time.date", headers: &["date", "day", "opened"],
-        core_pool: &["january 14", "march 3", "july 22", "october 9",
-            "december 1", "april 30", "august 17", "february 28"],
-        confusion_group: 4 },
-    TypeSpec { name: "music.album", headers: &["album", "record", "release"],
-        core_pool: &["abbey road", "thriller", "rumours", "nevermind",
-            "blue train", "kind of blue", "purple rain", "graceland"],
-        confusion_group: 3 },
-    TypeSpec { name: "music.artist", headers: &["artist", "band", "musician"],
-        core_pool: &["the beatles", "miles davis", "nina simone", "fela kuti",
-            "bjork", "radiohead", "daft punk", "caetano veloso"],
-        confusion_group: 0 },
-    TypeSpec { name: "film.film", headers: &["film", "movie", "title"],
-        core_pool: &["seven samurai", "casablanca", "city of god", "spirited away",
-            "the godfather", "metropolis", "parasite", "la dolce vita"],
-        confusion_group: 3 },
-    TypeSpec { name: "film.director", headers: &["director", "filmmaker", "directed by"],
-        core_pool: &["akira kurosawa", "agnes varda", "satyajit ray", "federico fellini",
-            "wong kar wai", "hayao miyazaki", "bong joon ho", "ingmar bergman"],
-        confusion_group: 0 },
-    TypeSpec { name: "book.book", headers: &["book", "novel", "work"],
-        core_pool: &["one hundred years of solitude", "things fall apart", "beloved",
-            "the trial", "invisible cities", "pedro paramo", "kokoro", "dead souls"],
-        confusion_group: 3 },
-    TypeSpec { name: "book.author", headers: &["author", "writer", "novelist"],
-        core_pool: &["gabriel garcia marquez", "chinua achebe", "toni morrison",
-            "franz kafka", "italo calvino", "juan rulfo", "natsume soseki",
-            "nikolai gogol"],
-        confusion_group: 0 },
-    TypeSpec { name: "food.dish", headers: &["dish", "food", "cuisine"],
-        core_pool: &["paella", "ramen", "injera", "ceviche", "pierogi",
-            "tagine", "feijoada", "bibimbap"],
-        confusion_group: 3 },
-    TypeSpec { name: "award.award", headers: &["award", "prize", "honor"],
-        core_pool: &["nobel prize", "fields medal", "palme d or", "booker prize",
-            "grammy award", "turing award", "pritzker prize", "ballon d or"],
-        confusion_group: 3 },
-    TypeSpec { name: "language.language", headers: &["language", "tongue", "spoken"],
-        core_pool: &["swahili", "quechua", "tagalog", "basque", "amharic",
-            "maori", "catalan", "yoruba"],
-        confusion_group: 1 },
-    TypeSpec { name: "currency.currency", headers: &["currency", "money", "tender"],
-        core_pool: &["krona", "dirham", "guarani", "shilling", "zloty",
-            "baht", "rand", "forint"],
-        confusion_group: 2 },
+        confusion_group: 4,
+    },
+    TypeSpec {
+        name: "time.date",
+        headers: &["date", "day", "opened"],
+        core_pool: &[
+            "january 14",
+            "march 3",
+            "july 22",
+            "october 9",
+            "december 1",
+            "april 30",
+            "august 17",
+            "february 28",
+        ],
+        confusion_group: 4,
+    },
+    TypeSpec {
+        name: "music.album",
+        headers: &["album", "record", "release"],
+        core_pool: &[
+            "abbey road",
+            "thriller",
+            "rumours",
+            "nevermind",
+            "blue train",
+            "kind of blue",
+            "purple rain",
+            "graceland",
+        ],
+        confusion_group: 3,
+    },
+    TypeSpec {
+        name: "music.artist",
+        headers: &["artist", "band", "musician"],
+        core_pool: &[
+            "the beatles",
+            "miles davis",
+            "nina simone",
+            "fela kuti",
+            "bjork",
+            "radiohead",
+            "daft punk",
+            "caetano veloso",
+        ],
+        confusion_group: 0,
+    },
+    TypeSpec {
+        name: "film.film",
+        headers: &["film", "movie", "title"],
+        core_pool: &[
+            "seven samurai",
+            "casablanca",
+            "city of god",
+            "spirited away",
+            "the godfather",
+            "metropolis",
+            "parasite",
+            "la dolce vita",
+        ],
+        confusion_group: 3,
+    },
+    TypeSpec {
+        name: "film.director",
+        headers: &["director", "filmmaker", "directed by"],
+        core_pool: &[
+            "akira kurosawa",
+            "agnes varda",
+            "satyajit ray",
+            "federico fellini",
+            "wong kar wai",
+            "hayao miyazaki",
+            "bong joon ho",
+            "ingmar bergman",
+        ],
+        confusion_group: 0,
+    },
+    TypeSpec {
+        name: "book.book",
+        headers: &["book", "novel", "work"],
+        core_pool: &[
+            "one hundred years of solitude",
+            "things fall apart",
+            "beloved",
+            "the trial",
+            "invisible cities",
+            "pedro paramo",
+            "kokoro",
+            "dead souls",
+        ],
+        confusion_group: 3,
+    },
+    TypeSpec {
+        name: "book.author",
+        headers: &["author", "writer", "novelist"],
+        core_pool: &[
+            "gabriel garcia marquez",
+            "chinua achebe",
+            "toni morrison",
+            "franz kafka",
+            "italo calvino",
+            "juan rulfo",
+            "natsume soseki",
+            "nikolai gogol",
+        ],
+        confusion_group: 0,
+    },
+    TypeSpec {
+        name: "food.dish",
+        headers: &["dish", "food", "cuisine"],
+        core_pool: &[
+            "paella", "ramen", "injera", "ceviche", "pierogi", "tagine", "feijoada", "bibimbap",
+        ],
+        confusion_group: 3,
+    },
+    TypeSpec {
+        name: "award.award",
+        headers: &["award", "prize", "honor"],
+        core_pool: &[
+            "nobel prize",
+            "fields medal",
+            "palme d or",
+            "booker prize",
+            "grammy award",
+            "turing award",
+            "pritzker prize",
+            "ballon d or",
+        ],
+        confusion_group: 3,
+    },
+    TypeSpec {
+        name: "language.language",
+        headers: &["language", "tongue", "spoken"],
+        core_pool: &[
+            "swahili", "quechua", "tagalog", "basque", "amharic", "maori", "catalan", "yoruba",
+        ],
+        confusion_group: 1,
+    },
+    TypeSpec {
+        name: "currency.currency",
+        headers: &["currency", "money", "tender"],
+        core_pool: &["krona", "dirham", "guarani", "shilling", "zloty", "baht", "rand", "forint"],
+        confusion_group: 2,
+    },
 ];
 
 /// A table topic: title templates plus the types it can contain.
@@ -165,48 +439,88 @@ pub struct TopicSpec {
 
 /// The Wiki-like topics (10 topics, 16 relation labels).
 pub const WIKI_TOPICS: &[TopicSpec] = &[
-    TopicSpec { name: "nba", titles: &["{q} nba draft", "{q} nba season", "nba finals {q}"],
+    TopicSpec {
+        name: "nba",
+        titles: &["{q} nba draft", "{q} nba season", "nba finals {q}"],
         types: &[1, 8, 2, 12],
-        relations: &[(1, 8, "basketball_player_stats.team"),
-                     (2, 8, "basketball_coach.team"),
-                     (1, 12, "pro_athlete.draft_year")] },
-    TopicSpec { name: "soccer", titles: &["{q} world cup", "{q} league table", "{q} transfers"],
+        relations: &[
+            (1, 8, "basketball_player_stats.team"),
+            (2, 8, "basketball_coach.team"),
+            (1, 12, "pro_athlete.draft_year"),
+        ],
+    },
+    TopicSpec {
+        name: "soccer",
+        titles: &["{q} world cup", "{q} league table", "{q} transfers"],
         types: &[9, 8, 4, 7],
-        relations: &[(8, 9, "sports_team.league"),
-                     (9, 4, "sports_league.country"),
-                     (8, 7, "sports_team.stadium")] },
-    TopicSpec { name: "olympics", titles: &["{q} summer olympics", "{q} winter olympics", "{q} olympic medals"],
+        relations: &[
+            (8, 9, "sports_team.league"),
+            (9, 4, "sports_league.country"),
+            (8, 7, "sports_team.stadium"),
+        ],
+    },
+    TopicSpec {
+        name: "olympics",
+        titles: &["{q} summer olympics", "{q} winter olympics", "{q} olympic medals"],
         types: &[4, 5, 0, 12],
-        relations: &[(5, 4, "city.country"), (0, 4, "person.nationality")] },
-    TopicSpec { name: "movies", titles: &["films of {q}", "{q} film festival", "{q} box office"],
+        relations: &[(5, 4, "city.country"), (0, 4, "person.nationality")],
+    },
+    TopicSpec {
+        name: "movies",
+        titles: &["films of {q}", "{q} film festival", "{q} box office"],
         types: &[16, 17, 12, 21],
-        relations: &[(16, 17, "film.directed_by"), (16, 12, "film.release_year"),
-                     (16, 21, "film.award")] },
-    TopicSpec { name: "music", titles: &["{q} albums", "{q} music charts", "discography {q}"],
+        relations: &[
+            (16, 17, "film.directed_by"),
+            (16, 12, "film.release_year"),
+            (16, 21, "film.award"),
+        ],
+    },
+    TopicSpec {
+        name: "music",
+        titles: &["{q} albums", "{q} music charts", "discography {q}"],
         types: &[14, 15, 12],
-        relations: &[(14, 15, "album.artist"), (14, 12, "album.release_year")] },
-    TopicSpec { name: "books", titles: &["{q} novels", "{q} literature", "books of {q}"],
+        relations: &[(14, 15, "album.artist"), (14, 12, "album.release_year")],
+    },
+    TopicSpec {
+        name: "books",
+        titles: &["{q} novels", "{q} literature", "books of {q}"],
         types: &[18, 19, 21],
-        relations: &[(18, 19, "book.author"), (19, 21, "author.award")] },
-    TopicSpec { name: "geography", titles: &["geography of {q}", "{q} demographics", "{q} landmarks"],
+        relations: &[(18, 19, "book.author"), (19, 21, "author.award")],
+    },
+    TopicSpec {
+        name: "geography",
+        titles: &["geography of {q}", "{q} demographics", "{q} landmarks"],
         types: &[4, 5, 6, 22, 23],
-        relations: &[(5, 4, "city.country"), (4, 22, "country.language"),
-                     (4, 23, "country.currency")] },
-    TopicSpec { name: "companies", titles: &["{q} companies", "{q} industry report", "largest employers {q}"],
+        relations: &[
+            (5, 4, "city.country"),
+            (4, 22, "country.language"),
+            (4, 23, "country.currency"),
+        ],
+    },
+    TopicSpec {
+        name: "companies",
+        titles: &["{q} companies", "{q} industry report", "largest employers {q}"],
         types: &[10, 5, 0],
-        relations: &[(10, 5, "company.headquarters")] },
-    TopicSpec { name: "universities", titles: &["{q} universities", "{q} rankings", "academia in {q}"],
+        relations: &[(10, 5, "company.headquarters")],
+    },
+    TopicSpec {
+        name: "universities",
+        titles: &["{q} universities", "{q} rankings", "academia in {q}"],
         types: &[11, 5, 3],
-        relations: &[(11, 5, "university.city")] },
-    TopicSpec { name: "cuisine", titles: &["cuisine of {q}", "{q} dishes", "{q} food guide"],
+        relations: &[(11, 5, "university.city")],
+    },
+    TopicSpec {
+        name: "cuisine",
+        titles: &["cuisine of {q}", "{q} dishes", "{q} food guide"],
         types: &[20, 4],
-        relations: &[(20, 4, "dish.origin")] },
+        relations: &[(20, 4, "dish.origin")],
+    },
 ];
 
 /// Qualifiers substituted into title templates.
 pub const QUALIFIERS: &[&str] = &[
-    "1990", "1994", "1998", "2002", "2006", "2010", "2014", "2018",
-    "spring", "autumn", "europe", "asia", "africa", "americas",
+    "1990", "1994", "1998", "2002", "2006", "2010", "2014", "2018", "spring", "autumn", "europe",
+    "asia", "africa", "americas",
 ];
 
 /// All distinct relation label names, in deterministic order.

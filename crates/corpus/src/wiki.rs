@@ -57,8 +57,14 @@ impl Default for WikiConfig {
 }
 
 const GENERIC_TITLES: &[&str] = &[
-    "statistics", "list of results", "overview", "summary table", "records",
-    "annual report", "selected entries", "data table",
+    "statistics",
+    "list of results",
+    "overview",
+    "summary table",
+    "records",
+    "annual report",
+    "selected entries",
+    "data table",
 ];
 
 /// Group-scoped generic headers: they do not reveal the column type but
@@ -66,11 +72,11 @@ const GENERIC_TITLES: &[&str] = &[
 /// "venue" (place-ish) in real Web tables. Keeping them group-scoped
 /// preserves the header-bridge homophily the SE module relies on.
 const GENERIC_HEADERS_BY_GROUP: &[&[&str]] = &[
-    &["name", "who"],          // group 0: people-ish
-    &["place name", "where"],  // group 1: places
-    &["organisation", "org"],  // group 2: organisations
-    &["title", "work"],        // group 3: works
-    &["number", "figure"],     // group 4: numeric
+    &["name", "who"],         // group 0: people-ish
+    &["place name", "where"], // group 1: places
+    &["organisation", "org"], // group 2: organisations
+    &["title", "work"],       // group 3: works
+    &["number", "figure"],    // group 4: numeric
 ];
 
 /// Zipf-ish topic sampling: topic `i` has weight `1/(i+1)`.
@@ -120,10 +126,7 @@ fn generate_column(
     } else {
         pick(spec.headers, rng).to_string()
     };
-    (
-        Column::new(header, cells, Some(type_idx)),
-        ColProvenance { signal_rows, weak },
-    )
+    (Column::new(header, cells, Some(type_idx)), ColProvenance { signal_rows, weak })
 }
 
 /// Generates the Wiki-like dataset.
@@ -184,9 +187,8 @@ pub fn generate_wiki(cfg: &WikiConfig) -> Dataset {
         }
         // Optional unannotated filler column.
         if rng.gen::<f64>() < 0.3 {
-            let filler: Vec<String> = (0..rows)
-                .map(|_| pick(shared_pool(4), &mut rng).to_string())
-                .collect();
+            let filler: Vec<String> =
+                (0..rows).map(|_| pick(shared_pool(4), &mut rng).to_string()).collect();
             columns.push(Column::new("notes", filler, None));
         }
 
@@ -197,7 +199,11 @@ pub fn generate_wiki(cfg: &WikiConfig) -> Dataset {
             let o = chosen.iter().position(|&t| t == o_type);
             if let (Some(s), Some(o)) = (s, o) {
                 if rng.gen::<f64>() < 0.9 {
-                    relations.push(RelationAnnotation { subject: s, object: o, label: rel_index(name) });
+                    relations.push(RelationAnnotation {
+                        subject: s,
+                        object: o,
+                        label: rel_index(name),
+                    });
                     pair_provenance.push(PairProvenance {
                         subject_signal_rows: table_col_prov[s].signal_rows.clone(),
                         object_signal_rows: table_col_prov[o].signal_rows.clone(),
@@ -214,11 +220,7 @@ pub fn generate_wiki(cfg: &WikiConfig) -> Dataset {
     let table_split = assign_splits(tables.len());
     Dataset {
         name: "wiki-synth".to_string(),
-        collection: TableCollection {
-            tables,
-            type_labels: wiki_type_labels(),
-            relation_labels,
-        },
+        collection: TableCollection { tables, type_labels: wiki_type_labels(), relation_labels },
         table_split,
         col_provenance,
         pair_provenance,

@@ -68,10 +68,7 @@ impl EncoderConfig {
 
     /// Laptop-scale configuration mirroring RoBERTa-base's role.
     pub fn roberta_like(vocab_size: usize, max_seq: usize) -> Self {
-        Self {
-            variant: Variant::RobertaLike,
-            ..Self::bert_like(vocab_size, max_seq)
-        }
+        Self { variant: Variant::RobertaLike, ..Self::bert_like(vocab_size, max_seq) }
     }
 }
 
@@ -99,7 +96,7 @@ pub struct TransformerEncoder {
 impl TransformerEncoder {
     /// Registers all encoder parameters in `store`.
     pub fn new(store: &mut ParamStore, cfg: EncoderConfig, rng: &mut SmallRng) -> Self {
-        assert!(cfg.d_model % cfg.n_heads == 0, "d_model must divide n_heads");
+        assert!(cfg.d_model.is_multiple_of(cfg.n_heads), "d_model must divide n_heads");
         let start = store.len();
         let tok_emb = Embedding::new(store, "enc.tok_emb", cfg.vocab_size, cfg.d_model, rng);
         let pos_emb = Embedding::new(store, "enc.pos_emb", cfg.max_seq, cfg.d_model, rng);
@@ -107,7 +104,13 @@ impl TransformerEncoder {
         let mut layers = Vec::with_capacity(cfg.n_layers);
         for l in 0..cfg.n_layers {
             layers.push(EncoderLayer {
-                mha: MultiHeadAttention::new(store, &format!("enc.l{l}.mha"), cfg.d_model, cfg.n_heads, rng),
+                mha: MultiHeadAttention::new(
+                    store,
+                    &format!("enc.l{l}.mha"),
+                    cfg.d_model,
+                    cfg.n_heads,
+                    rng,
+                ),
                 ln1: LayerNorm::new(store, &format!("enc.l{l}.ln1"), cfg.d_model),
                 ff: FeedForward::new(store, &format!("enc.l{l}.ff"), cfg.d_model, cfg.d_ff, rng),
                 ln2: LayerNorm::new(store, &format!("enc.l{l}.ln2"), cfg.d_model),
@@ -159,6 +162,7 @@ impl TransformerEncoder {
         training: bool,
         rng: &mut SmallRng,
     ) -> (NodeId, NodeId) {
+        let _span = explainti_obs::span!("encoder.forward");
         assert_eq!(enc.ids.len(), self.cfg.max_seq, "sequence length mismatch");
         let positions: Vec<usize> = (0..enc.ids.len()).collect();
         let tok = self.tok_emb.forward(g, store, &enc.ids);
@@ -187,6 +191,7 @@ impl TransformerEncoder {
 
     /// Convenience inference pass returning the CLS embedding as a tensor.
     pub fn embed_cls(&self, store: &ParamStore, enc: &Encoded, rng: &mut SmallRng) -> Tensor {
+        let _span = explainti_obs::span!("encoder.embed_cls");
         let mut g = Graph::new();
         let e = self.forward(&mut g, store, enc, false, rng);
         let cls = self.cls(&mut g, e);
@@ -214,10 +219,7 @@ impl TransformerEncoder {
             let id = store.param_id_at(idx);
             let n = store.value(id).len();
             assert!(offset + n <= flat.len(), "checkpoint too short");
-            store
-                .value_mut(id)
-                .as_mut_slice()
-                .copy_from_slice(&flat[offset..offset + n]);
+            store.value_mut(id).as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
             offset += n;
         }
         assert_eq!(offset, flat.len(), "checkpoint size mismatch");

@@ -8,7 +8,7 @@
 //! epoch (dynamic masking).
 
 use crate::{TransformerEncoder, Variant};
-use explainti_nn::{AdamW, Graph, LinearSchedule, Linear, ParamStore, Tensor};
+use explainti_nn::{AdamW, Graph, Linear, LinearSchedule, ParamStore, Tensor};
 use explainti_tokenizer::{Encoded, MASK};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -87,10 +87,8 @@ pub fn pretrain_mlm(
     let mut opt = AdamW::new(LinearSchedule::new(cfg.lr, steps / 20 + 1, steps));
 
     // Static masking: corrupt once, reuse across epochs (BertLike).
-    let static_masks: Vec<MaskedInstance> = sequences
-        .iter()
-        .map(|s| corrupt(s, cfg.mask_prob, vocab, rng))
-        .collect();
+    let static_masks: Vec<MaskedInstance> =
+        sequences.iter().map(|s| corrupt(s, cfg.mask_prob, vocab, rng)).collect();
 
     let mut order: Vec<usize> = (0..sequences.len()).collect();
     let mut last_epoch_loss = 0.0;
@@ -100,10 +98,7 @@ pub fn pretrain_mlm(
         let instances: &[MaskedInstance] = match encoder.config().variant {
             Variant::BertLike => &static_masks,
             Variant::RobertaLike => {
-                dynamic = sequences
-                    .iter()
-                    .map(|s| corrupt(s, cfg.mask_prob, vocab, rng))
-                    .collect();
+                dynamic = sequences.iter().map(|s| corrupt(s, cfg.mask_prob, vocab, rng)).collect();
                 &dynamic
             }
         };
@@ -187,7 +182,10 @@ mod tests {
     #[test]
     fn pretraining_reduces_loss() {
         let tok = Tokenizer::train(
-            ["city stats country france spain kenya", "player stats team chicago bulls golden state"],
+            [
+                "city stats country france spain kenya",
+                "player stats team chicago bulls golden state",
+            ],
             256,
         );
         let mut rng = SmallRng::seed_from_u64(11);
@@ -212,10 +210,7 @@ mod tests {
             &PretrainConfig { epochs: 4, ..Default::default() },
             &mut rng,
         );
-        assert!(
-            later < first,
-            "MLM loss should fall with more training: {first} -> {later}"
-        );
+        assert!(later < first, "MLM loss should fall with more training: {first} -> {later}");
     }
 
     #[test]

@@ -128,7 +128,8 @@ impl Confusion {
     /// than sklearn's on the same predictions.
     pub fn f1(&self) -> F1Scores {
         let per_class = self.f1_per_class();
-        let with_support: Vec<usize> = (0..self.num_classes).filter(|&c| self.support[c] > 0).collect();
+        let with_support: Vec<usize> =
+            (0..self.num_classes).filter(|&c| self.support[c] > 0).collect();
         let macro_ = if with_support.is_empty() {
             0.0
         } else {
@@ -137,9 +138,7 @@ impl Confusion {
         let weighted = if self.total == 0 {
             0.0
         } else {
-            (0..self.num_classes)
-                .map(|c| per_class[c] * self.support[c] as f64)
-                .sum::<f64>()
+            (0..self.num_classes).map(|c| per_class[c] * self.support[c] as f64).sum::<f64>()
                 / self.total as f64
         };
         F1Scores { micro: self.accuracy(), macro_, weighted }

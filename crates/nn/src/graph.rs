@@ -74,11 +74,7 @@ enum Op {
     /// Inverted dropout with a caller-supplied mask (already scaled).
     Dropout { x: NodeId, mask: Tensor },
     /// Mean cross-entropy from logits against class indices.
-    CrossEntropy {
-        logits: NodeId,
-        targets: Vec<usize>,
-        probs: Tensor,
-    },
+    CrossEntropy { logits: NodeId, targets: Vec<usize>, probs: Tensor },
     /// Mean binary cross-entropy with logits against a multi-hot matrix.
     BceWithLogits { logits: NodeId, targets: Tensor },
 }
@@ -182,12 +178,7 @@ impl Graph {
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
-        let data = va
-            .as_slice()
-            .iter()
-            .zip(vb.as_slice())
-            .map(|(&x, &y)| x - y)
-            .collect();
+        let data = va.as_slice().iter().zip(vb.as_slice()).map(|(&x, &y)| x - y).collect();
         let v = Tensor::from_vec(va.rows(), va.cols(), data);
         self.push(v, Op::Sub(a, b))
     }
@@ -196,12 +187,7 @@ impl Graph {
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
-        let data = va
-            .as_slice()
-            .iter()
-            .zip(vb.as_slice())
-            .map(|(&x, &y)| x * y)
-            .collect();
+        let data = va.as_slice().iter().zip(vb.as_slice()).map(|(&x, &y)| x * y).collect();
         let v = Tensor::from_vec(va.rows(), va.cols(), data);
         self.push(v, Op::Mul(a, b))
     }
@@ -314,8 +300,7 @@ impl Graph {
         assert!(start + n <= vx.cols(), "cols_range out of bounds");
         let mut v = Tensor::zeros(vx.rows(), n);
         for r in 0..vx.rows() {
-            v.row_slice_mut(r)
-                .copy_from_slice(&vx.row_slice(r)[start..start + n]);
+            v.row_slice_mut(r).copy_from_slice(&vx.row_slice(r)[start..start + n]);
         }
         self.push(v, Op::ColsRange { x, start, n })
     }
@@ -330,12 +315,7 @@ impl Graph {
     pub fn dropout(&mut self, x: NodeId, mask: &Tensor) -> NodeId {
         let vx = &self.nodes[x.0].value;
         assert_eq!(vx.shape(), mask.shape(), "dropout mask shape mismatch");
-        let data = vx
-            .as_slice()
-            .iter()
-            .zip(mask.as_slice())
-            .map(|(&a, &m)| a * m)
-            .collect();
+        let data = vx.as_slice().iter().zip(mask.as_slice()).map(|(&a, &m)| a * m).collect();
         let v = Tensor::from_vec(vx.rows(), vx.cols(), data);
         self.push(v, Op::Dropout { x, mask: mask.clone() })
     }
@@ -346,9 +326,8 @@ impl Graph {
         assert_eq!(vl.rows(), targets.len(), "cross_entropy batch mismatch");
         let mut probs = Tensor::zeros(vl.rows(), vl.cols());
         let mut loss = 0.0;
-        for r in 0..vl.rows() {
+        for (r, &t) in targets.iter().enumerate() {
             crate::tensor::softmax_into(vl.row_slice(r), probs.row_slice_mut(r));
-            let t = targets[r];
             assert!(t < vl.cols(), "target class {t} out of range {}", vl.cols());
             loss -= probs.get(r, t).max(1e-9).ln();
         }
@@ -384,6 +363,7 @@ impl Graph {
     /// `root` is usually the `1 x 1` loss node; seeding with ones makes the
     /// sweep compute plain derivatives of the loss.
     pub fn backward(&mut self, root: NodeId) {
+        let _span = explainti_obs::span!("nn.backward");
         let (r, c) = self.nodes[root.0].value.shape();
         self.nodes[root.0].grad = Some(Tensor::full(r, c, 1.0));
 
@@ -434,19 +414,11 @@ impl Graph {
                 }
                 Op::Mul(a, b) => {
                     let vb = &self.nodes[b.0].value;
-                    let da_data = grad
-                        .as_slice()
-                        .iter()
-                        .zip(vb.as_slice())
-                        .map(|(&g, &v)| g * v)
-                        .collect();
+                    let da_data =
+                        grad.as_slice().iter().zip(vb.as_slice()).map(|(&g, &v)| g * v).collect();
                     let va = &self.nodes[a.0].value;
-                    let db_data = grad
-                        .as_slice()
-                        .iter()
-                        .zip(va.as_slice())
-                        .map(|(&g, &v)| g * v)
-                        .collect();
+                    let db_data =
+                        grad.as_slice().iter().zip(va.as_slice()).map(|(&g, &v)| g * v).collect();
                     deltas.push((*a, Tensor::from_vec(grad.rows(), grad.cols(), da_data)));
                     deltas.push((*b, Tensor::from_vec(grad.rows(), grad.cols(), db_data)));
                 }
@@ -475,7 +447,7 @@ impl Graph {
                     let mut dx = Tensor::zeros(rows, cols);
                     let mut dgain = Tensor::zeros(1, cols);
                     let mut dbias = Tensor::zeros(1, cols);
-                    for r in 0..rows {
+                    for (r, &istd) in inv_std.iter().enumerate().take(rows) {
                         let gr = grad.row_slice(r);
                         let xh = xhat.row_slice(r);
                         for c in 0..cols {
@@ -488,7 +460,7 @@ impl Graph {
                         let m2 = gy.iter().zip(xh).map(|(&g, &h)| g * h).sum::<f32>() / cols as f32;
                         let dr = dx.row_slice_mut(r);
                         for c in 0..cols {
-                            dr[c] = (gy[c] - m1 - xh[c] * m2) * inv_std[r];
+                            dr[c] = (gy[c] - m1 - xh[c] * m2) * istd;
                         }
                     }
                     deltas.push((*x, dx));
@@ -591,12 +563,8 @@ impl Graph {
                     deltas.push((*x, dx));
                 }
                 Op::Dropout { x, mask } => {
-                    let data = grad
-                        .as_slice()
-                        .iter()
-                        .zip(mask.as_slice())
-                        .map(|(&g, &m)| g * m)
-                        .collect();
+                    let data =
+                        grad.as_slice().iter().zip(mask.as_slice()).map(|(&g, &m)| g * m).collect();
                     deltas.push((*x, Tensor::from_vec(grad.rows(), grad.cols(), data)));
                 }
                 Op::CrossEntropy { logits, targets, probs } => {

@@ -21,7 +21,13 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a `in_dim x out_dim` weight (Xavier) and a zero bias.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
         let w = store.add_xavier(&format!("{name}.w"), in_dim, out_dim, rng);
         let b = store.add_zeros(&format!("{name}.b"), 1, out_dim);
         Self { w, b, in_dim, out_dim }
@@ -56,7 +62,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// Registers a `vocab x dim` table initialised with small noise.
-    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
         let table = store.add_normal(name, vocab, dim, 0.02, rng);
         Self { table, vocab, dim }
     }
@@ -122,9 +134,8 @@ impl Dropout {
         let (rows, cols) = g.value(x).shape();
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let data = (0..rows * cols)
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
+        let data =
+            (0..rows * cols).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
         let mask = Tensor::from_vec(rows, cols, data);
         g.dropout(x, &mask)
     }
@@ -139,7 +150,13 @@ pub struct FeedForward {
 
 impl FeedForward {
     /// Registers the expansion (`dim -> hidden`) and projection layers.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        hidden: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
         Self {
             fc1: Linear::new(store, &format!("{name}.fc1"), dim, hidden, rng),
             fc2: Linear::new(store, &format!("{name}.fc2"), hidden, dim, rng),
@@ -170,7 +187,13 @@ impl MultiHeadAttention {
     ///
     /// # Panics
     /// Panics if `dim` is not divisible by `heads`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
         assert_eq!(dim % heads, 0, "dim {dim} must divide into {heads} heads");
         Self {
             wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
@@ -186,7 +209,13 @@ impl MultiHeadAttention {
     ///
     /// `pad_mask` marks positions to exclude as keys: entry `j` of the mask
     /// is `0.0` for real tokens and a large negative number for padding.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId, pad_mask: Option<&[f32]>) -> NodeId {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        pad_mask: Option<&[f32]>,
+    ) -> NodeId {
         let seq = g.value(x).rows();
         let q = self.wq.forward(g, store, x);
         let k = self.wk.forward(g, store, x);
@@ -278,19 +307,19 @@ mod tests {
         // beyond numerical noise.
         let mask = vec![0.0, 0.0, -1e9];
         let mut g1 = Graph::new();
-        let x1 = g1.input(Tensor::from_vec(3, 4, vec![
-            0.1, 0.2, 0.3, 0.4,
-            0.5, 0.6, 0.7, 0.8,
-            9.0, 9.0, 9.0, 9.0,
-        ]));
+        let x1 = g1.input(Tensor::from_vec(
+            3,
+            4,
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 9.0, 9.0, 9.0, 9.0],
+        ));
         let y1 = mha.forward(&mut g1, &store, x1, Some(&mask));
 
         let mut g2 = Graph::new();
-        let x2 = g2.input(Tensor::from_vec(3, 4, vec![
-            0.1, 0.2, 0.3, 0.4,
-            0.5, 0.6, 0.7, 0.8,
-            -5.0, 3.0, -2.0, 1.0,
-        ]));
+        let x2 = g2.input(Tensor::from_vec(
+            3,
+            4,
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, -5.0, 3.0, -2.0, 1.0],
+        ));
         let y2 = mha.forward(&mut g2, &store, x2, Some(&mask));
 
         for c in 0..4 {

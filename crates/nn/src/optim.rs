@@ -93,6 +93,7 @@ impl AdamW {
     /// Applies one update from the gradients accumulated in `store`,
     /// then zeroes them.
     pub fn step(&mut self, store: &mut ParamStore) {
+        let _span = explainti_obs::span!("optim.step");
         if let Some(clip) = self.clip_norm {
             let norm = store.grad_norm();
             if norm > clip {

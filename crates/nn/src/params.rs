@@ -57,17 +57,28 @@ impl ParamStore {
     }
 
     /// Registers a matrix initialised with Xavier/Glorot uniform noise.
-    pub fn add_xavier(&mut self, name: &str, rows: usize, cols: usize, rng: &mut SmallRng) -> ParamId {
+    pub fn add_xavier(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        rng: &mut SmallRng,
+    ) -> ParamId {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols)
-            .map(|_| rng.gen_range(-bound..bound))
-            .collect();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
         self.add(name, Tensor::from_vec(rows, cols, data))
     }
 
     /// Registers a matrix initialised with small Gaussian-ish noise
     /// (uniform approximation, std ≈ `std`), as BERT does for embeddings.
-    pub fn add_normal(&mut self, name: &str, rows: usize, cols: usize, std: f32, rng: &mut SmallRng) -> ParamId {
+    pub fn add_normal(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        std: f32,
+        rng: &mut SmallRng,
+    ) -> ParamId {
         // Irwin-Hall sum of 4 uniforms approximates a Gaussian well enough
         // for initialisation while keeping `rand`'s core API.
         let data = (0..rows * cols)
@@ -157,7 +168,10 @@ impl ParamStore {
         }
     }
 
-    pub(crate) fn adam_state_mut(&mut self, id: ParamId) -> (&mut Tensor, &mut Tensor, &mut Tensor, &Tensor, bool) {
+    pub(crate) fn adam_state_mut(
+        &mut self,
+        id: ParamId,
+    ) -> (&mut Tensor, &mut Tensor, &mut Tensor, &Tensor, bool) {
         let p = &mut self.params[id.0];
         (&mut p.value, &mut p.m, &mut p.v, &p.grad, p.decay)
     }

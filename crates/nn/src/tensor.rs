@@ -45,20 +45,12 @@ impl Tensor {
 
     /// Creates a zero-filled tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            data: vec![0.0; rows * cols],
-            rows,
-            cols,
-        }
+        Self { data: vec![0.0; rows * cols], rows, cols }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self {
-            data: vec![value; rows * cols],
-            rows,
-            cols,
-        }
+        Self { data: vec![value; rows * cols], rows, cols }
     }
 
     /// Creates a 1 x n row vector.
@@ -207,13 +199,13 @@ impl Tensor {
         for i in 0..self.rows {
             let a_row = self.row_slice(i);
             let out_row = out.row_slice_mut(i);
-            for j in 0..other.rows {
+            for (j, out_v) in out_row.iter_mut().enumerate() {
                 let b_row = other.row_slice(j);
                 let mut acc = 0.0;
                 for k in 0..self.cols {
                     acc += a_row[k] * b_row[k];
                 }
-                out_row[j] = acc;
+                *out_v = acc;
             }
         }
         out

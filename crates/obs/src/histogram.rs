@@ -1,0 +1,196 @@
+//! Lock-free log-linear histogram for latency distributions.
+//!
+//! Values (span durations in nanoseconds) land in buckets arranged as
+//! powers of two subdivided into 16 linear sub-buckets, the same layout
+//! HdrHistogram popularised: relative quantile error is bounded by the
+//! sub-bucket width (≤ ~6%) at every magnitude, and recording is a
+//! single atomic increment with no allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Majors 1..=60 cover values from 2^4 up to u64::MAX; major 0 holds
+/// the exact small values 0..15.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// A concurrent histogram of `u64` samples (nanoseconds by convention).
+pub struct Histogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // [AtomicU64; N] has no Copy init, so build via Vec and convert.
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let counts: Box<[AtomicU64; BUCKETS]> = match counts.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("bucket count is fixed"),
+        };
+        Self {
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for `v`: exact below 16, log-linear above.
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let major = (msb - SUB_BITS + 1) as usize;
+            let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+            major * SUB + sub
+        }
+    }
+
+    /// Representative value (bucket midpoint) for bucket `idx`.
+    fn value_of(idx: usize) -> u64 {
+        if idx < SUB {
+            idx as u64
+        } else {
+            let major = (idx / SUB) as u32;
+            let sub = (idx % SUB) as u64;
+            let msb = major + SUB_BITS - 1;
+            let low = (1u64 << msb) | (sub << (msb - SUB_BITS));
+            let width = 1u64 << (msb - SUB_BITS);
+            low + width / 2
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.counts[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (saturating only at u64 wrap, ~584 years of ns).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket-midpoint estimate,
+    /// clamped into `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::value_of(idx).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Zeroes all buckets and aggregates in place.
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_monotonic_and_in_range() {
+        let mut prev = 0usize;
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            for delta in [0u64, 1, (1u64 << shift) >> 1] {
+                let idx = Histogram::index(v.saturating_add(delta));
+                assert!(idx < BUCKETS, "idx {idx} for value {}", v.saturating_add(delta));
+                assert!(idx >= prev || idx == Histogram::index(v), "non-monotonic at {v}");
+            }
+            prev = Histogram::index(v);
+        }
+        assert!(Histogram::index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            // Quantiles over the 16 exact buckets return exact values.
+            let q = (v as f64 + 1.0) / 16.0;
+            assert_eq!(h.quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn bucket_midpoint_is_within_relative_error() {
+        for v in [100u64, 1_000, 123_456, 7_000_000, u32::MAX as u64 * 3] {
+            let rep = Histogram::value_of(Histogram::index(v));
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.07, "value {v} rep {rep} err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+}

@@ -116,10 +116,8 @@ pub fn table_from_csv(title: &str, text: &str) -> Result<Table, CsvError> {
 /// Reads a CSV file from disk; the file stem becomes the title.
 pub fn table_from_csv_file(path: &std::path::Path) -> std::io::Result<Result<Table, CsvError>> {
     let text = std::fs::read_to_string(path)?;
-    let title = path
-        .file_stem()
-        .map(|s| s.to_string_lossy().replace(['_', '-'], " "))
-        .unwrap_or_default();
+    let title =
+        path.file_stem().map(|s| s.to_string_lossy().replace(['_', '-'], " ")).unwrap_or_default();
     Ok(table_from_csv(&title, &text))
 }
 
@@ -161,10 +159,7 @@ mod tests {
 
     #[test]
     fn unterminated_quote_is_an_error() {
-        assert!(matches!(
-            parse_csv("a\n\"oops"),
-            Err(CsvError::UnterminatedQuote { .. })
-        ));
+        assert!(matches!(parse_csv("a\n\"oops"), Err(CsvError::UnterminatedQuote { .. })));
     }
 
     #[test]
@@ -175,7 +170,8 @@ mod tests {
 
     #[test]
     fn table_from_csv_builds_columns() {
-        let t = table_from_csv("players", "player,team\nles jepsen,warriors\nbo kimble,clippers\n").unwrap();
+        let t = table_from_csv("players", "player,team\nles jepsen,warriors\nbo kimble,clippers\n")
+            .unwrap();
         assert_eq!(t.title, "players");
         assert_eq!(t.num_cols(), 2);
         assert_eq!(t.columns[0].header, "player");

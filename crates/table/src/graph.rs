@@ -37,7 +37,12 @@ pub struct ColumnGraph {
     header_groups: Vec<Vec<usize>>,
 }
 
-fn group_key<'a>(groups: &mut HashMap<String, usize>, lists: &mut Vec<Vec<usize>>, key: &'a str, node: usize) -> usize {
+fn group_key(
+    groups: &mut HashMap<String, usize>,
+    lists: &mut Vec<Vec<usize>>,
+    key: &str,
+    node: usize,
+) -> usize {
     let gid = *groups.entry(key.to_string()).or_insert_with(|| {
         lists.push(Vec::new());
         lists.len() - 1

@@ -44,11 +44,7 @@ impl Column {
     /// in first-seen order.
     pub fn unique_cells(&self) -> Vec<&str> {
         let mut seen = std::collections::HashSet::new();
-        self.cells
-            .iter()
-            .filter(|c| seen.insert(c.as_str()))
-            .map(String::as_str)
-            .collect()
+        self.cells.iter().filter(|c| seen.insert(c.as_str())).map(String::as_str).collect()
     }
 
     /// Borrowed cell slices (the common serialisation input).

@@ -36,9 +36,8 @@ pub const HEADER: TokenId = 6;
 /// Marker preceding the cell values.
 pub const CELL: TokenId = 7;
 
-const SPECIALS: [&str; 8] = [
-    "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[TITLE]", "[HEADER]", "[CELL]",
-];
+const SPECIALS: [&str; 8] =
+    ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[TITLE]", "[HEADER]", "[CELL]"];
 
 /// Splits text into lower-cased word tokens; digits are kept per-character
 /// so numeric cells share structure across values.
@@ -95,11 +94,8 @@ impl Tokenizer {
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         let mut id_to_token: Vec<String> = SPECIALS.iter().map(|s| s.to_string()).collect();
-        let mut token_to_id: HashMap<String, TokenId> = id_to_token
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i))
-            .collect();
+        let mut token_to_id: HashMap<String, TokenId> =
+            id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
 
         let push = |tok: String, t2i: &mut HashMap<String, TokenId>, i2t: &mut Vec<String>| {
             if !t2i.contains_key(&tok) {
@@ -174,10 +170,7 @@ impl Tokenizer {
 
     /// Tokenises arbitrary text into ids (no special tokens added).
     pub fn tokenize(&self, text: &str) -> Vec<TokenId> {
-        normalize(text)
-            .iter()
-            .flat_map(|w| self.encode_word(w))
-            .collect()
+        normalize(text).iter().flat_map(|w| self.encode_word(w)).collect()
     }
 
     /// Renders a window of ids back to text (for human-readable
@@ -214,9 +207,7 @@ pub struct Encoded {
 impl Encoded {
     /// Attention pad mask: `0.0` for real tokens, `-1e9` for padding.
     pub fn pad_mask(&self) -> Vec<f32> {
-        (0..self.ids.len())
-            .map(|i| if i < self.len { 0.0 } else { -1e9 })
-            .collect()
+        (0..self.ids.len()).map(|i| if i < self.len { 0.0 } else { -1e9 }).collect()
     }
 }
 

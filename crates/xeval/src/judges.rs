@@ -113,7 +113,12 @@ fn label_agreement(ctx: &JudgeContext, labels: &[usize]) -> f32 {
 /// One simulated judge's verdict. The noise parameter reproduces
 /// inter-annotator variance; the paper's setup corresponds to
 /// `noise ≈ 0.15`.
-pub fn judge(ctx: &JudgeContext, expl: &JudgedExplanation, noise: f32, rng: &mut SmallRng) -> Verdict {
+pub fn judge(
+    ctx: &JudgeContext,
+    expl: &JudgedExplanation,
+    noise: f32,
+    rng: &mut SmallRng,
+) -> Verdict {
     let overlap = signal_overlap(ctx, &expl.span_texts);
     let agreement = label_agreement(ctx, &expl.supporting_labels);
     // Evidence quality: a judge weighs the shown spans (do they surface
@@ -122,11 +127,8 @@ pub fn judge(ctx: &JudgeContext, expl: &JudgedExplanation, noise: f32, rng: &mut
     // is shown irrelevant phrases does not forgive them just because a
     // similar sample is also listed. Label-only evidence (no spans) is a
     // weaker justification.
-    let evidence = if expl.span_texts.is_empty() {
-        0.6 * agreement
-    } else {
-        0.6 * overlap + 0.4 * agreement
-    };
+    let evidence =
+        if expl.span_texts.is_empty() { 0.6 * agreement } else { 0.6 * overlap + 0.4 * agreement };
 
     // Understandability: concise whole-word spans (2–6 words) read best;
     // single tokens are too fragmented and long dumps (SelfExplain's
@@ -134,11 +136,7 @@ pub fn judge(ctx: &JudgeContext, expl: &JudgedExplanation, noise: f32, rng: &mut
     let has_spans = !expl.span_texts.is_empty();
     let has_support = !expl.supporting_labels.is_empty();
     let readability = if has_spans {
-        let avg_words = expl
-            .span_texts
-            .iter()
-            .map(|s| normalize(s).len() as f32)
-            .sum::<f32>()
+        let avg_words = expl.span_texts.iter().map(|s| normalize(s).len() as f32).sum::<f32>()
             / expl.span_texts.len() as f32;
         if avg_words <= 6.0 {
             (avg_words / 3.0).min(1.0)

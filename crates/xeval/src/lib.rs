@@ -19,5 +19,7 @@ pub mod textclf;
 
 pub use judges::{judge, JudgeAggregate, JudgeContext, JudgedExplanation, Verdict};
 pub use online::{simulate, CostModel, OnlineResult, VerificationItem};
-pub use sufficiency::{extract_explainti_views, extract_influence, extract_saliency, ExplainTiViews};
+pub use sufficiency::{
+    extract_explainti_views, extract_influence, extract_saliency, ExplainTiViews,
+};
 pub use textclf::{sufficiency_f1, TextInstance};

@@ -69,7 +69,12 @@ impl OnlineResult {
 }
 
 /// Simulates an expert verifying `items` with and without explanations.
-pub fn simulate(items: &[VerificationItem], cost: &CostModel, noise: f32, rng: &mut SmallRng) -> OnlineResult {
+pub fn simulate(
+    items: &[VerificationItem],
+    cost: &CostModel,
+    noise: f32,
+    rng: &mut SmallRng,
+) -> OnlineResult {
     let mut t_without = 0.0;
     let mut t_with = 0.0;
     let mut acc_without = 0.0;
@@ -79,7 +84,10 @@ pub fn simulate(items: &[VerificationItem], cost: &CostModel, noise: f32, rng: &
         t_without += cost.base + cost.per_token * item.input_tokens as f64 + cost.deliberation;
         // The unaided expert judges from the raw input; small error rate.
         let correct_decision = item.ctx.predicted == item.ctx.gold;
-        acc_without += f64::from(rng.gen::<f32>() > 0.08 && correct_decision || !correct_decision && rng.gen::<f32>() > 0.25);
+        acc_without += f64::from(
+            rng.gen::<f32>() > 0.08 && correct_decision
+                || !correct_decision && rng.gen::<f32>() > 0.25,
+        );
 
         // With explanations: read the explanation; convincing → confirm,
         // otherwise fall back to the full read.
@@ -91,7 +99,10 @@ pub fn simulate(items: &[VerificationItem], cost: &CostModel, noise: f32, rng: &
             t_with += cost.per_token * item.input_tokens as f64 + cost.deliberation;
         }
         // Explanations help catch wrong predictions (higher accuracy).
-        acc_with += f64::from(rng.gen::<f32>() > 0.04 && correct_decision || !correct_decision && rng.gen::<f32>() > 0.12);
+        acc_with += f64::from(
+            rng.gen::<f32>() > 0.04 && correct_decision
+                || !correct_decision && rng.gen::<f32>() > 0.12,
+        );
     }
     let n = items.len().max(1) as f64;
     OnlineResult {

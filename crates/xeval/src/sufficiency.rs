@@ -82,9 +82,7 @@ pub fn extract_explainti_views(
             .map(|sn| sample_text(model, task, sn.node))
             .collect::<Vec<_>>()
             .join(" ; ");
-        views
-            .structural
-            .push(TextInstance { text: structural_text, label, split });
+        views.structural.push(TextInstance { text: structural_text, label, split });
 
         // Random windows of the same count and width as the local view.
         let enc = &model.tasks()[task].data.samples[idx].encoded;
@@ -103,7 +101,11 @@ pub fn extract_explainti_views(
 
 /// Saliency-map explanations: the `top` highest-|grad×input| tokens
 /// (Table IV uses K=10 "because its explanations are short").
-pub fn extract_saliency(model: &mut SeqClassifier, kind: TaskKind, top: usize) -> Vec<TextInstance> {
+pub fn extract_saliency(
+    model: &mut SeqClassifier,
+    kind: TaskKind,
+    top: usize,
+) -> Vec<TextInstance> {
     let n = model.samples(kind).len();
     let mut out = Vec::new();
     for idx in 0..n {

@@ -45,11 +45,8 @@ fn encode_text(tok: &Tokenizer, text: &str, max_len: usize) -> Encoded {
 /// Figure 3.
 pub fn sufficiency_f1(instances: &[TextInstance], num_classes: usize, seed: u64) -> F1Scores {
     let max_len = 24;
-    let train_texts: Vec<&str> = instances
-        .iter()
-        .filter(|i| i.split == Split::Train)
-        .map(|i| i.text.as_str())
-        .collect();
+    let train_texts: Vec<&str> =
+        instances.iter().filter(|i| i.split == Split::Train).map(|i| i.text.as_str()).collect();
     let tok = Tokenizer::train(train_texts.iter().copied(), 2048);
 
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -59,13 +56,10 @@ pub fn sufficiency_f1(instances: &[TextInstance], num_classes: usize, seed: u64)
     let encoder = TransformerEncoder::new(&mut store, cfg, &mut rng);
     let head = Linear::new(&mut store, "fresh.head", encoder.d_model(), num_classes, &mut rng);
 
-    let encoded: Vec<Encoded> = instances
-        .iter()
-        .map(|i| encode_text(&tok, &i.text, max_len))
-        .collect();
-    let train_idx: Vec<usize> = (0..instances.len())
-        .filter(|&i| instances[i].split == Split::Train)
-        .collect();
+    let encoded: Vec<Encoded> =
+        instances.iter().map(|i| encode_text(&tok, &i.text, max_len)).collect();
+    let train_idx: Vec<usize> =
+        (0..instances.len()).filter(|&i| instances[i].split == Split::Train).collect();
 
     let epochs = 4;
     let batch = 16;
@@ -118,16 +112,8 @@ mod tests {
         for rep in 0..40 {
             for (label, w) in words.iter().enumerate() {
                 let split = if rep % 10 == 9 { Split::Test } else { Split::Train };
-                informative.push(TextInstance {
-                    text: format!("{w} {w} extra"),
-                    label,
-                    split,
-                });
-                noise.push(TextInstance {
-                    text: format!("filler {}", rep % 3),
-                    label,
-                    split,
-                });
+                informative.push(TextInstance { text: format!("{w} {w} extra"), label, split });
+                noise.push(TextInstance { text: format!("filler {}", rep % 3), label, split });
             }
         }
         let good = sufficiency_f1(&informative, 4, 1);

@@ -14,11 +14,7 @@ fn main() {
     model.train();
 
     let cols = dataset.collection.annotated_columns();
-    let country = dataset
-        .collection
-        .type_labels
-        .iter()
-        .position(|l| l == "location.country");
+    let country = dataset.collection.type_labels.iter().position(|l| l == "location.country");
     let task = model.task_index(TaskKind::Type).unwrap();
     let sample = model.tasks()[task]
         .data
@@ -39,7 +35,12 @@ fn main() {
     println!("header: {}", col.header);
     println!("cells : {}", col.cells.join(" | "));
     println!();
-    println!("prediction: {}  (gold: {}, confidence {:.2})", name(p.label), name(gold), p.confidence);
+    println!(
+        "prediction: {}  (gold: {}, confidence {:.2})",
+        name(p.label),
+        name(gold),
+        p.confidence
+    );
     println!();
     println!("━━ local view (relevant windows, Eq. 3) ━━━━━━━");
     for s in p.explanation.top_local(3) {

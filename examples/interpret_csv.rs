@@ -24,7 +24,12 @@ fn main() {
         }
         None => table_from_csv("1990 nba draft", DEMO_CSV).expect("demo CSV parses"),
     };
-    println!("loaded \"{}\": {} columns x {} rows", table.title, table.num_cols(), table.num_rows());
+    println!(
+        "loaded \"{}\": {} columns x {} rows",
+        table.title,
+        table.num_cols(),
+        table.num_rows()
+    );
 
     // 2. Train the interpreter on the synthetic Web-table benchmark.
     let dataset = generate_wiki(&WikiConfig { num_tables: 300, ..Default::default() });

@@ -44,15 +44,9 @@ fn build_corpus(num_tables: usize, seed: u64) -> Dataset {
                 })
                 .collect();
             columns.push(Column::new(header, cells, Some(t)));
-            col_provenance.push(ColProvenance {
-                signal_rows: (0..rows).collect(),
-                weak: false,
-            });
+            col_provenance.push(ColProvenance { signal_rows: (0..rows).collect(), weak: false });
         }
-        tables.push(Table::new(
-            format!("customer export {}", ti % 12),
-            columns,
-        ));
+        tables.push(Table::new(format!("customer export {}", ti % 12), columns));
     }
     let table_split = assign_splits(tables.len());
     Dataset {

@@ -8,10 +8,7 @@ use explainti::prelude::*;
 fn main() {
     // 1. A seeded Web-table benchmark (see explainti-corpus for how it
     //    mirrors WikiTable's structure).
-    let dataset = generate_wiki(&WikiConfig {
-        num_tables: 150,
-        ..Default::default()
-    });
+    let dataset = generate_wiki(&WikiConfig { num_tables: 150, ..Default::default() });
     println!(
         "corpus: {} tables, {} column types, {} relation types",
         dataset.collection.tables.len(),
@@ -25,10 +22,7 @@ fn main() {
     let mut model = ExplainTi::new(&dataset, cfg);
     println!("model: {} trainable weights", model.num_weights());
     let report = model.train();
-    println!(
-        "trained in {:?} (best epoch {})",
-        report.total_time, report.best_epoch
-    );
+    println!("trained in {:?} (best epoch {})", report.total_time, report.best_epoch);
 
     // 3. Evaluate both tasks.
     for kind in [TaskKind::Type, TaskKind::Relation] {

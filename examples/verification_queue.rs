@@ -40,14 +40,20 @@ fn main() {
         }));
 
         // 2. Same items feed the expert-time simulation.
-        let ctx = JudgeContext::from_column(&table.title, col, &dataset.col_provenance[idx], p.label, gold);
+        let ctx = JudgeContext::from_column(
+            &table.title,
+            col,
+            &dataset.col_provenance[idx],
+            p.label,
+            gold,
+        );
         let span_texts: Vec<String> =
             p.explanation.top_local_diverse(3).into_iter().map(|s| s.text.clone()).collect();
         let mut supporting: Vec<usize> =
             p.explanation.top_global(1).iter().map(|g| g.label).collect();
         supporting.extend(p.explanation.top_structural(1).iter().map(|n| n.label));
-        let expl_tokens =
-            span_texts.iter().map(|t| t.split_whitespace().count()).sum::<usize>() + supporting.len() * 8;
+        let expl_tokens = span_texts.iter().map(|t| t.split_whitespace().count()).sum::<usize>()
+            + supporting.len() * 8;
         sim_items.push(VerificationItem {
             input_tokens: model.tasks()[task].data.samples[idx].encoded.len,
             explanation_tokens: expl_tokens,
@@ -58,11 +64,7 @@ fn main() {
 
     let json = serde_json::to_string_pretty(&items_json).unwrap();
     std::fs::write("verification_queue.json", &json).unwrap();
-    println!(
-        "wrote verification_queue.json ({} items, {} bytes)",
-        queue.len(),
-        json.len()
-    );
+    println!("wrote verification_queue.json ({} items, {} bytes)", queue.len(), json.len());
 
     let mut rng = SmallRng::seed_from_u64(3);
     let r = simulate(&sim_items, &CostModel::default(), 0.15, &mut rng);

@@ -3,9 +3,15 @@
 //! ```text
 //! explainti generate --out corpus.json [--tables N] [--git]
 //! explainti train    --corpus corpus.json --out model-dir [--epochs N] [--roberta]
+//!                    [--report-out report.json]
 //! explainti interpret --model model-dir file.csv [file2.csv …]
 //! explainti evaluate --model model-dir
 //! ```
+//!
+//! Every command accepts `--trace-out <trace.jsonl>` to stream telemetry
+//! span events as JSONL, and honours `EXPLAINTI_LOG=off|info|debug`.
+//! Unless telemetry is off, a per-stage latency table prints to stderr at
+//! the end of the run.
 //!
 //! `train` stores both the corpus snapshot and the weight checkpoint in
 //! the model directory, so `interpret`/`evaluate` can rebuild the exact
@@ -21,9 +27,12 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  explainti generate --out <corpus.json> [--tables N] [--git]\n  \
-         explainti train --corpus <corpus.json> --out <model-dir> [--epochs N] [--roberta]\n  \
+         explainti train --corpus <corpus.json> --out <model-dir> [--epochs N] [--roberta]\n    \
+         [--report-out <report.json>]\n  \
          explainti interpret --model <model-dir> <file.csv>…\n  \
-         explainti evaluate --model <model-dir>"
+         explainti evaluate --model <model-dir>\n\n\
+         all commands accept --trace-out <trace.jsonl> (JSONL span events)\n\
+         and honour EXPLAINTI_LOG=off|info|debug (default info)"
     );
     ExitCode::from(2)
 }
@@ -65,14 +74,11 @@ fn parse_args(args: &[String]) -> Args {
 }
 
 fn cmd_generate(args: &Args) -> ExitCode {
+    let _span = explainti_obs::span!("cli.generate");
     let Some(out) = args.flags.get("out") else {
         return usage();
     };
-    let tables: usize = args
-        .flags
-        .get("tables")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(600);
+    let tables: usize = args.flags.get("tables").and_then(|v| v.parse().ok()).unwrap_or(600);
     let dataset = if args.bools.contains("git") {
         generate_git(&GitConfig { num_tables: tables, ..Default::default() })
     } else {
@@ -109,9 +115,7 @@ fn build_model(dataset: &Dataset, model_dir: &Path) -> Result<ExplainTi, String>
         ExplainTiConfig::bert_like(2048, 32)
     };
     let mut model = ExplainTi::new(dataset, cfg);
-    model
-        .load_weights(&model_dir.join("weights.bin"))
-        .map_err(|e| format!("load weights: {e}"))?;
+    model.load_weights(&model_dir.join("weights.bin")).map_err(|e| format!("load weights: {e}"))?;
     // GE/SE read the embedding store; rebuild it for the loaded weights.
     for task in 0..model.tasks().len() {
         model.refresh_store(task);
@@ -120,6 +124,7 @@ fn build_model(dataset: &Dataset, model_dir: &Path) -> Result<ExplainTi, String>
 }
 
 fn cmd_train(args: &Args) -> ExitCode {
+    let _span = explainti_obs::span!("cli.train");
     let (Some(corpus), Some(out)) = (args.flags.get("corpus"), args.flags.get("out")) else {
         return usage();
     };
@@ -143,6 +148,21 @@ fn cmd_train(args: &Args) -> ExitCode {
     println!("training ({} weights)…", model.num_weights());
     let report = model.train();
     println!("trained in {:?} (best epoch {})", report.total_time, report.best_epoch);
+    if let Some(path) = args.flags.get("report-out") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("write report {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote training report to {path}");
+            }
+            Err(e) => {
+                eprintln!("serialise report: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     for kind in [TaskKind::Type, TaskKind::Relation] {
         if model.task_index(kind).is_some() {
             let f1 = model.evaluate(kind, Split::Test);
@@ -163,7 +183,9 @@ fn cmd_train(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if let Err(e) = std::fs::write(dir.join("variant.txt"), if roberta { "roberta" } else { "bert" }) {
+    if let Err(e) =
+        std::fs::write(dir.join("variant.txt"), if roberta { "roberta" } else { "bert" })
+    {
         eprintln!("write variant: {e}");
         return ExitCode::FAILURE;
     }
@@ -176,6 +198,7 @@ fn cmd_train(args: &Args) -> ExitCode {
 }
 
 fn cmd_interpret(args: &Args) -> ExitCode {
+    let _span = explainti_obs::span!("cli.interpret");
     let Some(model_dir) = args.flags.get("model").map(PathBuf::from) else {
         return usage();
     };
@@ -229,6 +252,7 @@ fn cmd_interpret(args: &Args) -> ExitCode {
 }
 
 fn cmd_evaluate(args: &Args) -> ExitCode {
+    let _span = explainti_obs::span!("cli.evaluate");
     let Some(model_dir) = args.flags.get("model").map(PathBuf::from) else {
         return usage();
     };
@@ -261,13 +285,28 @@ fn main() -> ExitCode {
         return usage();
     };
     let args = parse_args(&argv[1..]);
-    match cmd.as_str() {
+    if let Some(path) = args.flags.get("trace-out") {
+        if let Err(e) = explainti_obs::set_trace_file(Path::new(path)) {
+            eprintln!("open trace file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let code = match cmd.as_str() {
         "generate" => cmd_generate(&args),
         "train" => cmd_train(&args),
         "interpret" => cmd_interpret(&args),
         "evaluate" => cmd_evaluate(&args),
         _ => usage(),
+    };
+    // Per-stage latency breakdown (the paper's Table V stages) on stderr.
+    if explainti_obs::enabled() {
+        let report = explainti_obs::report();
+        if !report.is_empty() {
+            eprintln!("{report}");
+        }
     }
+    explainti_obs::close_trace();
+    code
 }
 
 #[cfg(test)]
@@ -276,10 +315,11 @@ mod tests {
 
     #[test]
     fn parses_flags_bools_and_positionals() {
-        let argv: Vec<String> = ["--corpus", "c.json", "--roberta", "a.csv", "b.csv", "--epochs", "5"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let argv: Vec<String> =
+            ["--corpus", "c.json", "--roberta", "a.csv", "b.csv", "--epochs", "5"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let args = parse_args(&argv);
         assert_eq!(args.flags.get("corpus").unwrap(), "c.json");
         assert_eq!(args.flags.get("epochs").unwrap(), "5");

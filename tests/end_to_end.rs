@@ -15,17 +15,13 @@ fn full_pipeline_beats_majority_class() {
     cfg.top_k = 4;
     cfg.sample_r = 8;
     let mut model = ExplainTi::new(&dataset, cfg);
-    model.pretrain(&explainti::encoder::mlm::PretrainConfig {
-        epochs: 1,
-        ..Default::default()
-    });
+    model.pretrain(&explainti::encoder::mlm::PretrainConfig { epochs: 1, ..Default::default() });
     model.train();
 
     // Majority-class micro-F1 on the test split.
     let cols = dataset.collection.annotated_columns();
-    let test: Vec<usize> = (0..cols.len())
-        .filter(|&i| dataset.table_split[cols[i].0.table] == Split::Test)
-        .collect();
+    let test: Vec<usize> =
+        (0..cols.len()).filter(|&i| dataset.table_split[cols[i].0.table] == Split::Test).collect();
     let mut counts = std::collections::HashMap::new();
     for &i in &test {
         *counts.entry(cols[i].1).or_insert(0usize) += 1;

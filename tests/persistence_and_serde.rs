@@ -3,7 +3,8 @@
 
 use explainti::core::{decode_weights, encode_weights};
 use explainti::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn wiki_dataset_json_roundtrip_preserves_everything() {
@@ -17,10 +18,7 @@ fn wiki_dataset_json_roundtrip_preserves_everything() {
     assert_eq!(back.col_provenance.len(), d.col_provenance.len());
     // Derived views agree.
     assert_eq!(back.statistics().num_type_samples, d.statistics().num_type_samples);
-    assert_eq!(
-        back.type_sample_indices(Split::Test),
-        d.type_sample_indices(Split::Test)
-    );
+    assert_eq!(back.type_sample_indices(Split::Test), d.type_sample_indices(Split::Test));
 }
 
 #[test]
@@ -45,8 +43,7 @@ fn model_rebuilt_from_serialised_dataset_accepts_checkpoint() {
     let weights = trained.export_all_weights();
     let p_before = trained.predict(TaskKind::Type, 0);
 
-    let roundtripped: Dataset =
-        serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+    let roundtripped: Dataset = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
     let mut rebuilt = ExplainTi::new(&roundtripped, cfg);
     rebuilt.import_all_weights(&weights);
     let p_after = rebuilt.predict(TaskKind::Type, 0);
@@ -54,25 +51,32 @@ fn model_rebuilt_from_serialised_dataset_accepts_checkpoint() {
     assert_eq!(p_before.probs, p_after.probs);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Checkpoint encoding round-trips arbitrary finite weight vectors.
-    #[test]
-    fn checkpoint_roundtrip(weights in proptest::collection::vec(-1e6f32..1e6, 0..500)) {
+/// Checkpoint encoding round-trips arbitrary finite weight vectors.
+#[test]
+fn checkpoint_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(3004);
+    for case in 0..32 {
+        // Cover the empty vector explicitly, then random lengths.
+        let n = if case == 0 { 0 } else { rng.gen_range(1..500) };
+        let weights: Vec<f32> = (0..n).map(|_| rng.gen_range(-1e6f32..1e6)).collect();
         let bytes = encode_weights(&weights);
         let back = decode_weights(&bytes).unwrap();
-        prop_assert_eq!(back, weights);
+        assert_eq!(back, weights);
     }
+}
 
-    /// Any corruption of the length header is detected.
-    #[test]
-    fn checkpoint_header_corruption_detected(n in 1usize..64, delta in 1u64..1000) {
+/// Any corruption of the length header is detected.
+#[test]
+fn checkpoint_header_corruption_detected() {
+    let mut rng = SmallRng::seed_from_u64(3005);
+    for _ in 0..32 {
+        let n = rng.gen_range(1..64);
+        let delta = rng.gen_range(1u64..1000);
         let weights = vec![1.0f32; n];
         let mut bytes = encode_weights(&weights).to_vec();
         // Length field lives at offset 8..16 (after the magic).
         let stored = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
         bytes[8..16].copy_from_slice(&(stored + delta).to_le_bytes());
-        prop_assert!(decode_weights(&bytes).is_err());
+        assert!(decode_weights(&bytes).is_err());
     }
 }

@@ -1,0 +1,155 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API subset
+//! this workspace's benches use: `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//! No statistical analysis or HTML reports — it times the routine,
+//! prints min/median/mean per benchmark, and exits.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        eprintln!("group {name}");
+        BenchmarkGroup { group: name.to_string(), sample_size: 100 }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b =
+            Bencher { samples: Vec::with_capacity(self.sample_size), target: self.sample_size };
+        f(&mut b);
+        report(&self.group, id, &mut b.samples);
+        self
+    }
+
+    /// Ends the group (upstream consumes `self`; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// How much setup output to batch per timing in `iter_batched`.
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large inputs: one setup per timed call.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+/// Collects timed samples of the benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after a short warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3.min(self.target) {
+            let _ = routine(); // warm-up
+        }
+        for _ in 0..self.target {
+            let t = Instant::now();
+            let _ = routine();
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        {
+            let input = setup();
+            let _ = routine(input); // warm-up
+        }
+        for _ in 0..self.target {
+            let input = setup();
+            let t = Instant::now();
+            let _ = routine(input);
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        eprintln!("  {group}/{id}: no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    eprintln!(
+        "  {group}/{id}: min {} | median {} | mean {} ({} samples)",
+        fmt(min),
+        fmt(median),
+        fmt(mean),
+        samples.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

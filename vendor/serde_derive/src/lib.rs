@@ -1,0 +1,222 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! two shapes this workspace actually derives on — named-field structs
+//! and fieldless enums — using nothing but `proc_macro`. The generated
+//! impls target the vendored `serde` crate's `Value`-based traits.
+//!
+//! Unsupported shapes (tuple structs, data-carrying enums, generics)
+//! produce a compile error naming the limitation, so a future change
+//! that needs them fails loudly rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Fieldless enum: variant identifiers in declaration order.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses the derive input far enough to know the type name and its
+/// fields/variants. Panicking is the proc-macro idiom for derive errors.
+fn parse(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(crate)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple struct `{name}` is not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: `{name}` has no braced body"),
+        }
+    };
+
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    match kind.as_str() {
+        "struct" => Shape::Struct { name, fields: parse_struct_fields(&body_tokens) },
+        "enum" => Shape::Enum { name, variants: parse_enum_variants(&body_tokens) },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    }
+}
+
+fn parse_struct_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field, found {other:?}"),
+        }
+        // Consume the type: scan to the next top-level comma, tracking
+        // angle-bracket depth because generics are not token groups.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(tokens: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(variant)) = tokens.get(i) else {
+            break;
+        };
+        variants.push(variant.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: enum variant `{}` carries data, which is not supported",
+                variants.last().unwrap()
+            ),
+            other => panic!("serde_derive shim: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` for named-field structs and fieldless enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::std::collections::BTreeMap::new();\n\
+                         {inserts}\n\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` for named-field structs and fieldless enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String =
+                fields.iter().map(|f| format!("{f}: ::serde::__field(m, \"{f}\")?,")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Object(m) => Ok({name} {{ {inits} }}),\n\
+                             _ => Err(::serde::Error::expected(\"object\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             _ => Err(::serde::Error::expected(\"variant of {name}\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Deserialize impl must parse")
+}
