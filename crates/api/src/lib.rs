@@ -1,0 +1,294 @@
+//! # explainti-api
+//!
+//! The stable typed surface between ExplainTI's interpretation engine
+//! and everything that talks to it: the `interpret` CLI command
+//! (`--json`), the `explainti serve` HTTP server, and any external
+//! client. One set of serde DTOs in, one set out — the CLI and the
+//! server produce byte-identical JSON for the same model and input.
+//!
+//! Request side: [`PredictRequest`] (a single ad-hoc column) and
+//! [`InterpretTableRequest`] (a whole table). Response side:
+//! [`PredictResponse`] (prediction + top-k multi-view explanations,
+//! reusing the core explanation types) and [`InterpretTableResponse`].
+//! Failures are a typed [`ApiError`] with an [`ErrorCode`] that maps
+//! onto HTTP status codes.
+
+#![warn(missing_docs)]
+
+use explainti_core::{GlobalInfluence, LocalSpan, Prediction, StructuralNeighbor};
+use explainti_table::Table;
+use serde::{Deserialize, Serialize};
+
+/// Default number of explanations per view in a [`PredictResponse`].
+pub const DEFAULT_TOP_K: usize = 3;
+
+// ---- Requests ---------------------------------------------------------
+
+/// One ad-hoc column to interpret.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Table title (page/file context, `p` in the serialisation).
+    pub title: String,
+    /// Column header (`h`).
+    pub header: String,
+    /// Cell values, top to bottom (`v…`).
+    pub cells: Vec<String>,
+}
+
+/// One column of an [`InterpretTableRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnData {
+    /// Column header.
+    pub header: String,
+    /// Cell values, top to bottom.
+    pub cells: Vec<String>,
+}
+
+/// A whole table to interpret column by column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterpretTableRequest {
+    /// Table title.
+    pub title: String,
+    /// The columns, in table order.
+    pub columns: Vec<ColumnData>,
+}
+
+impl InterpretTableRequest {
+    /// Builds a request from an in-memory [`Table`] (e.g. parsed CSV).
+    pub fn from_table(table: &Table) -> Self {
+        Self {
+            title: table.title.clone(),
+            columns: table
+                .columns
+                .iter()
+                .map(|c| ColumnData { header: c.header.clone(), cells: c.cells.clone() })
+                .collect(),
+        }
+    }
+
+    /// The column at `idx` as a single-column [`PredictRequest`].
+    pub fn column_request(&self, idx: usize) -> PredictRequest {
+        let col = &self.columns[idx];
+        PredictRequest {
+            title: self.title.clone(),
+            header: col.header.clone(),
+            cells: col.cells.clone(),
+        }
+    }
+}
+
+// ---- Responses --------------------------------------------------------
+
+/// A prediction with its top-k multi-view explanations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Predicted label name (from the model's label set).
+    pub label: String,
+    /// Predicted label index into the model's label set.
+    pub label_id: usize,
+    /// Softmax confidence of the predicted label.
+    pub confidence: f32,
+    /// Top-k local explanations (non-overlapping windows, best first).
+    pub local: Vec<LocalSpan>,
+    /// Top-k global explanations (influential training samples).
+    pub global: Vec<GlobalInfluence>,
+    /// Top-k structural explanations (attended graph neighbours).
+    pub structural: Vec<StructuralNeighbor>,
+}
+
+impl PredictResponse {
+    /// Projects a core [`Prediction`] onto the wire format: label index
+    /// resolved against `labels`, each explanation view truncated to its
+    /// top `top_k` entries (the local view via the non-overlapping
+    /// diverse selection the verification UI uses).
+    pub fn from_prediction(p: &Prediction, labels: &[String], top_k: usize) -> Self {
+        let label = labels.get(p.label).cloned().unwrap_or_else(|| format!("label#{}", p.label));
+        Self {
+            label,
+            label_id: p.label,
+            confidence: p.confidence,
+            local: p.explanation.top_local_diverse(top_k).into_iter().cloned().collect(),
+            global: p.explanation.top_global(top_k).to_vec(),
+            structural: p.explanation.top_structural(top_k).to_vec(),
+        }
+    }
+}
+
+/// One column's prediction inside an [`InterpretTableResponse`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnPrediction {
+    /// The column's header, echoed for alignment.
+    pub header: String,
+    /// The column's prediction and explanations.
+    pub prediction: PredictResponse,
+}
+
+/// Per-column predictions for a whole table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterpretTableResponse {
+    /// The table title, echoed from the request.
+    pub title: String,
+    /// One entry per request column, in request order.
+    pub columns: Vec<ColumnPrediction>,
+}
+
+// ---- Errors -----------------------------------------------------------
+
+/// Machine-readable failure category; maps onto an HTTP status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// Malformed request (bad JSON, missing fields, empty input).
+    BadRequest,
+    /// Unknown endpoint.
+    NotFound,
+    /// Endpoint exists but not for this HTTP method.
+    MethodNotAllowed,
+    /// Request body exceeds the configured limit.
+    PayloadTooLarge,
+    /// The bounded request queue is full — retry with backoff.
+    QueueFull,
+    /// The per-request deadline elapsed before a worker answered.
+    DeadlineExceeded,
+    /// The server is draining for shutdown and takes no new work.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The HTTP status code this error category maps to.
+    pub fn status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest => 400,
+            ErrorCode::NotFound => 404,
+            ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::PayloadTooLarge => 413,
+            ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
+            ErrorCode::DeadlineExceeded => 504,
+            ErrorCode::Internal => 500,
+        }
+    }
+}
+
+/// A typed API failure, serialised as the error response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApiError {
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A new error with the given category and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self { code, message: message.into() }
+    }
+
+    /// A `BadRequest` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadRequest, message)
+    }
+
+    /// The HTTP status of this error.
+    pub fn status(&self) -> u16 {
+        self.code.status()
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = InterpretTableRequest {
+            title: "1990 nba draft".into(),
+            columns: vec![
+                ColumnData { header: "player".into(), cells: vec!["Les Jepsen".into()] },
+                ColumnData { header: "round".into(), cells: vec!["1".into(), "2".into()] },
+            ],
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: InterpretTableRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.column_request(1).header, "round");
+        assert_eq!(back.column_request(1).title, "1990 nba draft");
+    }
+
+    #[test]
+    fn response_round_trips_through_json() {
+        let resp = PredictResponse {
+            label: "country".into(),
+            label_id: 4,
+            confidence: 0.87,
+            local: vec![LocalSpan {
+                start: 3,
+                window: 4,
+                pair_start: None,
+                text: "costa rica".into(),
+                relevance: 0.61,
+            }],
+            global: vec![GlobalInfluence { sample: 12, influence: 0.5, label: 4 }],
+            structural: vec![StructuralNeighbor { node: 7, attention: 0.9, label: 4 }],
+        };
+        let json = serde_json::to_string(&InterpretTableResponse {
+            title: "t".into(),
+            columns: vec![ColumnPrediction { header: "h".into(), prediction: resp }],
+        })
+        .unwrap();
+        let back: InterpretTableResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.columns.len(), 1);
+        assert_eq!(back.columns[0].prediction.label, "country");
+        assert_eq!(back.columns[0].prediction.label_id, 4);
+        assert_eq!(back.columns[0].prediction.local[0].text, "costa rica");
+    }
+
+    #[test]
+    fn from_prediction_truncates_to_top_k() {
+        let span = |start: usize, relevance: f32| LocalSpan {
+            start,
+            window: 2,
+            pair_start: None,
+            text: String::new(),
+            relevance,
+        };
+        let p = Prediction {
+            label: 1,
+            confidence: 0.8,
+            probs: vec![0.2, 0.8],
+            explanation: explainti_core::Explanation {
+                // Windows at 0, 10, 20, 30 are non-overlapping.
+                local: vec![span(0, 0.4), span(10, 0.3), span(20, 0.2), span(30, 0.1)],
+                global: (0..5)
+                    .map(|i| GlobalInfluence { sample: i, influence: 0.2, label: 0 })
+                    .collect(),
+                structural: vec![],
+            },
+        };
+        let labels = vec!["city".to_string(), "country".to_string()];
+        let resp = PredictResponse::from_prediction(&p, &labels, 2);
+        assert_eq!(resp.label, "country");
+        assert_eq!(resp.local.len(), 2);
+        assert_eq!(resp.global.len(), 2);
+        assert!(resp.structural.is_empty());
+    }
+
+    #[test]
+    fn error_codes_map_to_http_statuses() {
+        assert_eq!(ApiError::bad_request("nope").status(), 400);
+        assert_eq!(ApiError::new(ErrorCode::QueueFull, "busy").status(), 503);
+        assert_eq!(ApiError::new(ErrorCode::DeadlineExceeded, "late").status(), 504);
+        let json = serde_json::to_string(&ApiError::new(ErrorCode::QueueFull, "busy")).unwrap();
+        let back: ApiError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.code, ErrorCode::QueueFull);
+    }
+}

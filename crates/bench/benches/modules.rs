@@ -30,7 +30,7 @@ fn bench_modules(c: &mut Criterion) {
         ("base_se", false, false, true),
         ("full", true, true, true),
     ] {
-        let mut m = build(le, ge, se);
+        let m = build(le, ge, se);
         let mut idx = 0usize;
         let n = m.tasks()[0].data.samples.len();
         group.bench_function(name, |b| {

@@ -44,7 +44,7 @@ fn main() {
         let mut series = Vec::new();
         for ab in [0.05f32, 0.10, 0.25, 0.50] {
             eprintln!("[fig7] alpha=beta={ab}");
-            let mut m = train_with(&|c| {
+            let m = train_with(&|c| {
                 c.alpha = ab;
                 c.beta = ab;
             });
@@ -63,7 +63,7 @@ fn main() {
         let mut series = Vec::new();
         for r in [4usize, 8, 16, 32] {
             eprintln!("[fig7] r={r}");
-            let mut m = train_with(&|c| c.sample_r = r);
+            let m = train_with(&|c| c.sample_r = r);
             let ft = m.evaluate(TaskKind::Type, Split::Test).weighted;
             let fr = m.evaluate(TaskKind::Relation, Split::Test).weighted;
             t.row([r.to_string(), format!("{ft:.3}"), format!("{fr:.3}")]);

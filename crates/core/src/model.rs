@@ -68,6 +68,19 @@ pub(crate) struct SampleForward {
     pub structural: Vec<StructuralNeighbor>,
 }
 
+/// One sample's node ids and explanation bundles on a *shared* tape —
+/// what [`ExplainTi::forward_encoded_in`] returns so batched inference
+/// can forward many samples through one [`Graph`] (amortising the
+/// parameter snapshots that dominate small-model forward cost).
+pub(crate) struct ForwardViews {
+    pub final_logits: NodeId,
+    pub l_l: Option<NodeId>,
+    pub l_g: Option<NodeId>,
+    pub local_spans: Vec<LocalSpan>,
+    pub global_infl: Vec<GlobalInfluence>,
+    pub structural: Vec<StructuralNeighbor>,
+}
+
 /// The end-to-end ExplainTI model.
 pub struct ExplainTi {
     /// Model configuration (ablation switches included).
@@ -180,20 +193,31 @@ impl ExplainTi {
 
     /// Runs the encoder over every training sample of `task` and rebuilds
     /// the embedding store `Q` (Algorithm 2's initialisation/refresh).
+    ///
+    /// Samples go through [`TransformerEncoder::embed_cls_batch`] in
+    /// chunks so each chunk shares one tape (and one snapshot of the
+    /// encoder weights) instead of re-materialising them per sample.
     pub fn refresh_store(&mut self, task: usize) {
         let _span = explainti_obs::span!("store.refresh");
+        const CHUNK: usize = 32;
         let train: Vec<usize> = self.tasks[task].data.train_idx.clone();
-        for idx in train {
-            let enc = self.tasks[task].data.samples[idx].encoded.clone();
-            let label = self.tasks[task].data.samples[idx].label;
-            let cls = self.encoder.embed_cls(&self.store, &enc, &mut self.rng);
-            self.tasks[task].q.set(idx, cls, label);
+        for chunk in train.chunks(CHUNK) {
+            let encs: Vec<explainti_tokenizer::Encoded> = chunk
+                .iter()
+                .map(|&idx| self.tasks[task].data.samples[idx].encoded.clone())
+                .collect();
+            let cls = self.encoder.embed_cls_batch(&self.store, &encs, &mut self.rng);
+            for (&idx, cls) in chunk.iter().zip(cls) {
+                let label = self.tasks[task].data.samples[idx].label;
+                self.tasks[task].q.set(idx, cls, label);
+            }
         }
         self.tasks[task].q.rebuild_index();
     }
 
     /// Full forward pass over one sample, producing all logits and
-    /// explanation bundles.
+    /// explanation bundles. Training advances the model RNG (dropout
+    /// masks, SE neighbour draws); inference paths leave it untouched.
     pub(crate) fn forward_sample(
         &mut self,
         task: usize,
@@ -201,36 +225,77 @@ impl ExplainTi {
         training: bool,
     ) -> SampleForward {
         let encoded = self.tasks[task].data.samples[sample_idx].encoded.clone();
-        self.forward_encoded(task, &encoded, Some(sample_idx), training, true)
+        let mut rng = self.rng.clone();
+        let fwd = self.forward_encoded(task, &encoded, Some(sample_idx), training, true, &mut rng);
+        self.rng = rng;
+        fwd
     }
 
     /// Logits-only forward (no LE/GE work): LE and GE contribute training
     /// losses and explanations but never the final logits, so evaluation
     /// sweeps skip them. [`Self::predict`] keeps the full bundle.
-    fn forward_logits_only(&mut self, task: usize, sample_idx: usize) -> SampleForward {
-        let encoded = self.tasks[task].data.samples[sample_idx].encoded.clone();
-        self.forward_encoded(task, &encoded, Some(sample_idx), false, false)
+    fn forward_logits_only(&self, task: usize, sample_idx: usize) -> SampleForward {
+        let encoded = &self.tasks[task].data.samples[sample_idx].encoded;
+        let mut rng = self.inference_rng();
+        self.forward_encoded(task, encoded, Some(sample_idx), false, false, &mut rng)
     }
 
-    /// Forward pass over an arbitrary encoded sequence. `node` is the
-    /// sample's column-graph node when it exists in the task data; ad-hoc
-    /// inputs (e.g. freshly ingested CSV columns) pass `None`, in which
-    /// case SE falls back to self-attention and GE retrieves without
-    /// self-exclusion.
+    /// RNG for inference forwards. Inference never consumes randomness
+    /// (dropout is off and SE's eval path derives its own per-node
+    /// deterministic draw), but the forward signature threads one through
+    /// for the training path, so hand it a fixed-seed throwaway.
+    fn inference_rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.cfg.seed)
+    }
+
+    /// Forward pass over an arbitrary encoded sequence on a fresh tape.
+    /// See [`Self::forward_encoded_in`] for the `node` semantics.
     pub(crate) fn forward_encoded(
-        &mut self,
+        &self,
         task: usize,
         encoded: &explainti_tokenizer::Encoded,
         node: Option<usize>,
         training: bool,
         with_views: bool,
+        rng: &mut SmallRng,
     ) -> SampleForward {
+        let mut g = Graph::new();
+        let v = self.forward_encoded_in(&mut g, task, encoded, node, training, with_views, rng);
+        SampleForward {
+            graph: g,
+            final_logits: v.final_logits,
+            l_l: v.l_l,
+            l_g: v.l_g,
+            local_spans: v.local_spans,
+            global_infl: v.global_infl,
+            structural: v.structural,
+        }
+    }
+
+    /// Forward pass over an arbitrary encoded sequence on a caller-owned
+    /// (possibly shared) tape. `node` is the sample's column-graph node
+    /// when it exists in the task data; ad-hoc inputs (e.g. freshly
+    /// ingested CSV columns) pass `None`, in which case SE falls back to
+    /// self-attention and GE retrieves without self-exclusion.
+    ///
+    /// Takes `&self`: the prediction path reads shared state only, so
+    /// concurrent callers (the inference server's worker pool) can share
+    /// one model behind an `Arc` without locking.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn forward_encoded_in(
+        &self,
+        g: &mut Graph,
+        task: usize,
+        encoded: &explainti_tokenizer::Encoded,
+        node: Option<usize>,
+        training: bool,
+        with_views: bool,
+        rng: &mut SmallRng,
+    ) -> ForwardViews {
         let _span = explainti_obs::span!("model.forward");
         let kind = self.tasks[task].data.kind;
-        let encoded = encoded.clone();
-        let mut g = Graph::new();
-        let emb = self.encoder.forward(&mut g, &self.store, &encoded, training, &mut self.rng);
-        let cls = self.encoder.cls(&mut g, emb);
+        let emb = self.encoder.forward(g, &self.store, encoded, training, rng);
+        let cls = self.encoder.cls(g, emb);
         let cls_value = g.value(cls).clone();
 
         // Final prediction logits: the structural classifier (Eq. 9) when
@@ -238,33 +303,33 @@ impl ExplainTi {
         // (Eq. 1). Computed first so LE's relevance scores compare window
         // distributions against the *actual* prediction distribution.
         let (final_logits, structural) = if self.cfg.use_se {
-            self.structural_explanations(task, &mut g, cls, &cls_value, node, training)
+            self.structural_explanations(task, g, cls, &cls_value, node, training, rng)
         } else {
-            let base = self.tasks[task].heads.w.forward(&mut g, &self.store, cls);
+            let base = self.tasks[task].heads.w.forward(g, &self.store, cls);
             (base, Vec::new())
         };
 
         // --- LE: Algorithm 1 -------------------------------------------
         let (l_l, local_spans) = if self.cfg.use_le && with_views {
-            self.local_explanations(task, &mut g, emb, final_logits, &encoded, kind)
+            self.local_explanations(task, g, emb, final_logits, encoded, kind)
         } else {
             (None, Vec::new())
         };
 
         // --- GE: Algorithm 2 -------------------------------------------
         let (l_g, global_infl) = if self.cfg.use_ge && with_views {
-            self.global_explanations(task, &mut g, cls, &cls_value, node, training)
+            self.global_explanations(task, g, cls, &cls_value, node, training)
         } else {
             (None, Vec::new())
         };
 
-        SampleForward { graph: g, final_logits, l_l, l_g, local_spans, global_infl, structural }
+        ForwardViews { final_logits, l_l, l_g, local_spans, global_infl, structural }
     }
 
     /// Algorithm 1: sliding-window relevance scores and local logits.
     #[allow(clippy::too_many_arguments)]
     fn local_explanations(
-        &mut self,
+        &self,
         task: usize,
         g: &mut Graph,
         emb: NodeId,
@@ -414,7 +479,7 @@ impl ExplainTi {
 
     /// Algorithm 2: top-K influential samples and global logits.
     fn global_explanations(
-        &mut self,
+        &self,
         task: usize,
         g: &mut Graph,
         cls: NodeId,
@@ -467,14 +532,16 @@ impl ExplainTi {
     }
 
     /// Algorithm 4: graph-attention aggregation and structural logits.
+    #[allow(clippy::too_many_arguments)]
     fn structural_explanations(
-        &mut self,
+        &self,
         task: usize,
         g: &mut Graph,
         cls: NodeId,
         cls_value: &Tensor,
         node: Option<usize>,
         training: bool,
+        rng: &mut SmallRng,
     ) -> (NodeId, Vec<StructuralNeighbor>) {
         let _span = explainti_obs::span!("explain.se");
         let r = self.cfg.sample_r;
@@ -488,7 +555,7 @@ impl ExplainTi {
             Some(sample_idx) => {
                 let pred = |n: usize| n != sample_idx && q.has(n);
                 if training {
-                    state.data.graph.sample_neighbors(sample_idx, r, Some(&pred), &mut self.rng)
+                    state.data.graph.sample_neighbors(sample_idx, r, Some(&pred), rng)
                 } else {
                     let mut eval_rng = SmallRng::seed_from_u64(
                         self.cfg.seed ^ (sample_idx as u64).wrapping_mul(0x9e3779b97f4a7c15),
@@ -557,32 +624,87 @@ impl ExplainTi {
         (logits, structural)
     }
 
-    /// Predicts the type of an *ad-hoc* column that is not part of the
-    /// dataset (e.g. freshly ingested from CSV): the column is serialised
-    /// with the model's tokenizer, LE and GE work as usual, and SE falls
-    /// back to self-attention because the column has no graph node.
-    pub fn predict_column(&mut self, title: &str, header: &str, cells: &[&str]) -> Prediction {
-        let task = self.task_index(TaskKind::Type).expect("type task not registered");
-        let encoded = explainti_tokenizer::encode_column(
+    /// Serialises an ad-hoc column with the model's tokenizer, ready for
+    /// [`Self::predict_encoded`] / [`Self::predict_encoded_batch`]. The
+    /// serving path calls this up front so cache keys and queued jobs
+    /// carry the encoded form.
+    pub fn encode_ad_hoc_column(
+        &self,
+        title: &str,
+        header: &str,
+        cells: &[&str],
+    ) -> explainti_tokenizer::Encoded {
+        explainti_tokenizer::encode_column(
             &self.tokenizer,
             title,
             header,
             cells,
             self.cfg.encoder.max_seq,
-        );
-        let fwd = self.forward_encoded(task, &encoded, None, false, true);
+        )
+    }
+
+    /// Predicts the type of an *ad-hoc* column that is not part of the
+    /// dataset (e.g. freshly ingested from CSV): the column is serialised
+    /// with the model's tokenizer, LE and GE work as usual, and SE falls
+    /// back to self-attention because the column has no graph node.
+    ///
+    /// Takes `&self` — the prediction path is shared-state-safe, so an
+    /// `Arc<ExplainTi>` serves concurrent predictions without locking.
+    pub fn predict_column(&self, title: &str, header: &str, cells: &[&str]) -> Prediction {
+        let encoded = self.encode_ad_hoc_column(title, header, cells);
+        self.predict_encoded(&encoded)
+    }
+
+    /// Predicts one pre-encoded ad-hoc column (type task) with full
+    /// multi-view explanations.
+    pub fn predict_encoded(&self, encoded: &explainti_tokenizer::Encoded) -> Prediction {
+        let task = self.task_index(TaskKind::Type).expect("type task not registered");
+        let mut rng = self.inference_rng();
+        let fwd = self.forward_encoded(task, encoded, None, false, true, &mut rng);
         Self::prediction_from(fwd)
     }
 
+    /// Predicts a micro-batch of pre-encoded ad-hoc columns (type task)
+    /// through **one shared tape**, so the encoder's weight snapshots
+    /// amortise across the batch — the entry point the inference server's
+    /// batching collector drains into. Results are in input order and
+    /// identical to per-sample [`Self::predict_encoded`] calls.
+    pub fn predict_encoded_batch(&self, encs: &[explainti_tokenizer::Encoded]) -> Vec<Prediction> {
+        let _span = explainti_obs::span!("model.predict_batch");
+        let task = self.task_index(TaskKind::Type).expect("type task not registered");
+        let mut rng = self.inference_rng();
+        let mut g = Graph::new();
+        encs.iter()
+            .map(|enc| {
+                let v = self.forward_encoded_in(&mut g, task, enc, None, false, true, &mut rng);
+                Self::prediction_from_views(&g, v)
+            })
+            .collect()
+    }
+
     /// Predicts one sample with full multi-view explanations.
-    pub fn predict(&mut self, kind: TaskKind, sample_idx: usize) -> Prediction {
+    pub fn predict(&self, kind: TaskKind, sample_idx: usize) -> Prediction {
         let task = self.task_index(kind).expect("task not registered");
-        let fwd = self.forward_sample(task, sample_idx, false);
+        let encoded = &self.tasks[task].data.samples[sample_idx].encoded;
+        let mut rng = self.inference_rng();
+        let fwd = self.forward_encoded(task, encoded, Some(sample_idx), false, true, &mut rng);
         Self::prediction_from(fwd)
     }
 
     fn prediction_from(fwd: SampleForward) -> Prediction {
-        let logits = fwd.graph.value(fwd.final_logits).as_slice().to_vec();
+        let views = ForwardViews {
+            final_logits: fwd.final_logits,
+            l_l: fwd.l_l,
+            l_g: fwd.l_g,
+            local_spans: fwd.local_spans,
+            global_infl: fwd.global_infl,
+            structural: fwd.structural,
+        };
+        Self::prediction_from_views(&fwd.graph, views)
+    }
+
+    fn prediction_from_views(g: &Graph, views: ForwardViews) -> Prediction {
+        let logits = g.value(views.final_logits).as_slice().to_vec();
         let probs = softmax(&logits);
         let label = probs
             .iter()
@@ -595,15 +717,15 @@ impl ExplainTi {
             confidence: probs[label],
             probs,
             explanation: Explanation {
-                local: fwd.local_spans,
-                global: fwd.global_infl,
-                structural: fwd.structural,
+                local: views.local_spans,
+                global: views.global_infl,
+                structural: views.structural,
             },
         }
     }
 
     /// Evaluates F1 over a split of a task.
-    pub fn evaluate(&mut self, kind: TaskKind, split: Split) -> F1Scores {
+    pub fn evaluate(&self, kind: TaskKind, split: Split) -> F1Scores {
         let _span = explainti_obs::span!("evaluate");
         let task = self.task_index(kind).expect("task not registered");
         let indices = self.tasks[task].data.indices(split).to_vec();
@@ -722,6 +844,47 @@ mod tests {
             p.label,
             p.probs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
         );
+    }
+
+    #[test]
+    fn batched_adhoc_prediction_matches_single() {
+        let mut m = model();
+        m.refresh_store(0);
+        let e1 = m.encode_ad_hoc_column("1994 world cup", "country", &["costa rica", "norway"]);
+        let e2 = m.encode_ad_hoc_column("grand prix", "driver", &["senna", "prost"]);
+        let singles = [m.predict_encoded(&e1), m.predict_encoded(&e2)];
+        let batch = m.predict_encoded_batch(&[e1, e2]);
+        assert_eq!(batch.len(), 2);
+        for (b, s) in batch.iter().zip(&singles) {
+            assert_eq!(b.label, s.label);
+            assert_eq!(b.probs, s.probs);
+            assert_eq!(b.explanation.local.len(), s.explanation.local.len());
+            for (bl, sl) in b.explanation.local.iter().zip(&s.explanation.local) {
+                assert_eq!(bl.start, sl.start);
+                assert_eq!(bl.relevance, sl.relevance);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_model_predicts_concurrently() {
+        let mut m = model();
+        m.refresh_store(0);
+        let expected = m.predict_column("geography", "city", &["barcelona", "kyoto"]);
+        let shared = std::sync::Arc::new(m);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    m.predict_column("geography", "city", &["barcelona", "kyoto"])
+                })
+            })
+            .collect();
+        for h in handles {
+            let p = h.join().unwrap();
+            assert_eq!(p.label, expected.label);
+            assert_eq!(p.probs, expected.probs);
+        }
     }
 
     #[test]

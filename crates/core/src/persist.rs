@@ -7,8 +7,10 @@
 //! order defines the parameter layout), which mirrors how pre-trained LM
 //! checkpoints work.
 
+use crate::config::ExplainTiConfig;
 use crate::model::ExplainTi;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use explainti_corpus::Dataset;
 use std::io;
 use std::path::Path;
 
@@ -89,6 +91,55 @@ impl ExplainTi {
         }
         self.import_all_weights(&weights);
         Ok(())
+    }
+
+    /// Writes the full model-directory layout (`corpus.json`,
+    /// `variant.txt`, `weights.bin`) that [`Self::load_from_dir`], the
+    /// CLI and the inference server all consume. The corpus snapshot is
+    /// required because tokenizer and parameter layouts derive
+    /// deterministically from it.
+    pub fn save_to_dir(&self, dir: &Path, dataset: &Dataset) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let corpus = serde_json::to_string(dataset)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        std::fs::write(dir.join("corpus.json"), corpus)?;
+        let variant = match self.cfg.encoder.variant {
+            explainti_encoder::Variant::BertLike => "bert",
+            explainti_encoder::Variant::RobertaLike => "roberta",
+        };
+        std::fs::write(dir.join("variant.txt"), variant)?;
+        self.save_weights(&dir.join("weights.bin"))
+    }
+
+    /// Rebuilds a model from a directory written by [`Self::save_to_dir`]
+    /// (or the `train` CLI command): reads the corpus snapshot, picks the
+    /// recorded encoder variant, loads the weight checkpoint, and
+    /// refreshes every task's embedding store so GE/SE retrievals match
+    /// the loaded weights. Returns the dataset alongside the model
+    /// because serving needs the label names.
+    pub fn load_from_dir(dir: &Path) -> io::Result<(ExplainTi, Dataset)> {
+        let _span = explainti_obs::span!("persist.load_dir");
+        let corpus_path = dir.join("corpus.json");
+        let text = std::fs::read_to_string(&corpus_path)?;
+        let dataset: Dataset = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("parse {corpus_path:?}: {e}"))
+        })?;
+        let roberta = std::fs::read_to_string(dir.join("variant.txt"))
+            .map(|v| v.trim() == "roberta")
+            .unwrap_or(false);
+        // The vocabulary cap and sequence length are the fixed CLI-wide
+        // model-directory convention (see `ExplainTiConfig::bert_like`).
+        let cfg = if roberta {
+            ExplainTiConfig::roberta_like(2048, 32)
+        } else {
+            ExplainTiConfig::bert_like(2048, 32)
+        };
+        let mut model = ExplainTi::new(&dataset, cfg);
+        model.load_weights(&dir.join("weights.bin"))?;
+        for task in 0..model.tasks().len() {
+            model.refresh_store(task);
+        }
+        Ok((model, dataset))
     }
 }
 

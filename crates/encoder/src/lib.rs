@@ -184,6 +184,26 @@ impl TransformerEncoder {
         (x, sum)
     }
 
+    /// Runs the encoder over a batch of sequences sharing one tape.
+    ///
+    /// Within a single [`Graph`], parameter snapshots are memoised, so
+    /// the embedding tables and every layer's attention/FF weights are
+    /// materialised once per batch instead of once per sequence — the
+    /// batch-friendly entry point the inference server's micro-batching
+    /// collector drains into. Returns one `max_seq x d_model` node per
+    /// sequence, in input order.
+    pub fn forward_batch(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        encs: &[Encoded],
+        training: bool,
+        rng: &mut SmallRng,
+    ) -> Vec<NodeId> {
+        let _span = explainti_obs::span!("encoder.forward_batch");
+        encs.iter().map(|enc| self.forward(g, store, enc, training, rng)).collect()
+    }
+
     /// Extracts `E_[CLS]` (row 0) from a full-forward output node.
     pub fn cls(&self, g: &mut Graph, embeddings: NodeId) -> NodeId {
         g.rows_range(embeddings, 0, 1)
@@ -196,6 +216,26 @@ impl TransformerEncoder {
         let e = self.forward(&mut g, store, enc, false, rng);
         let cls = self.cls(&mut g, e);
         g.value(cls).clone()
+    }
+
+    /// Batched variant of [`Self::embed_cls`]: one shared tape per batch,
+    /// so weight snapshots amortise across the sequences (used by the
+    /// embedding-store refresh and the serving path).
+    pub fn embed_cls_batch(
+        &self,
+        store: &ParamStore,
+        encs: &[Encoded],
+        rng: &mut SmallRng,
+    ) -> Vec<Tensor> {
+        let _span = explainti_obs::span!("encoder.embed_cls_batch");
+        let mut g = Graph::new();
+        let outs = self.forward_batch(&mut g, store, encs, false, rng);
+        outs.into_iter()
+            .map(|e| {
+                let cls = self.cls(&mut g, e);
+                g.value(cls).clone()
+            })
+            .collect()
     }
 
     /// Serialises only the encoder's weights (pre-trained checkpoint).
@@ -278,6 +318,18 @@ mod tests {
         let a = enc.embed_cls(&store, &e1, &mut rng);
         let b = enc.embed_cls(&store, &e2, &mut rng);
         assert!(a.cosine(&b) < 0.999_9, "distinct inputs should not collide");
+    }
+
+    #[test]
+    fn batch_forward_matches_single_sequence_forward() {
+        let (tok, enc, store, mut rng) = setup();
+        let e1 = encode_column(&tok, "alpha", "beta", &["gamma", "delta"], 16);
+        let e2 = encode_column(&tok, "one", "two", &["three"], 16);
+        let singles = [enc.embed_cls(&store, &e1, &mut rng), enc.embed_cls(&store, &e2, &mut rng)];
+        let batch = enc.embed_cls_batch(&store, &[e1, e2], &mut rng);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], singles[0]);
+        assert_eq!(batch[1], singles[1]);
     }
 
     #[test]

@@ -89,12 +89,18 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Parameter snapshots already on the tape, so repeated uses of the
+    /// same weight (LE's per-window head, batched forwards) share one
+    /// node instead of re-cloning the tensor. Gradients from every use
+    /// accumulate into the shared node, which is exactly the sum the
+    /// per-use nodes would have flushed individually.
+    param_memo: std::collections::HashMap<ParamId, NodeId>,
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(128) }
+        Self { nodes: Vec::with_capacity(128), param_memo: std::collections::HashMap::new() }
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> NodeId {
@@ -133,9 +139,16 @@ impl Graph {
         self.push(value, Op::Input)
     }
 
-    /// Snapshots a trainable parameter onto the tape.
+    /// Snapshots a trainable parameter onto the tape. Repeated calls for
+    /// the same parameter within one tape return the same node (store
+    /// values only change between tapes, never mid-forward).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(store.value(id).clone(), Op::Param(id))
+        if let Some(&node) = self.param_memo.get(&id) {
+            return node;
+        }
+        let node = self.push(store.value(id).clone(), Op::Param(id));
+        self.param_memo.insert(id, node);
+        node
     }
 
     /// `A · B`.

@@ -1,0 +1,229 @@
+//! A fixed-capacity LRU cache for prediction responses.
+//!
+//! Keys are 64-bit hashes of `(title, header, cells)`; values are the
+//! fully rendered response DTOs, so a repeat prediction short-circuits
+//! the entire model forward *including* its explanations. O(1) lookup,
+//! insert, and eviction via an index-based doubly linked recency list
+//! (no unsafe, no pointer juggling).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache with a hard capacity.
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    entries: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used entry.
+    head: usize,
+    /// Least recently used entry (the eviction candidate).
+    tail: usize,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `cap` entries (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            map: HashMap::with_capacity(cap),
+            entries: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            cap,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity the cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(&self.entries[idx].value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used
+    /// entry when at capacity. Returns the evicted `(key, value)`, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.entries[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return None;
+        }
+        let evicted = if self.map.len() >= self.cap {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = self.entries[victim].key.clone();
+            self.map.remove(&old_key);
+            self.free.push(victim);
+            Some((victim, old_key))
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot].key = key.clone();
+                slot
+            }
+            None => {
+                self.entries.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+                self.map.insert(key, self.entries.len() - 1);
+                self.push_front(self.entries.len() - 1);
+                return None;
+            }
+        };
+        let old = std::mem::replace(&mut self.entries[idx].value, value);
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted.map(|(_, k)| (k, old))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c = LruCache::new(4);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.get(&"c"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Touch "a" so "b" becomes LRU.
+        assert_eq!(c.get(&"a"), Some(&1));
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refreshes "a"; "b" is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_latest() {
+        let mut c = LruCache::new(1);
+        c.insert(1u64, "x");
+        c.insert(2u64, "y");
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(&"y"));
+    }
+
+    #[test]
+    fn evicted_slots_are_reused() {
+        let mut c = LruCache::new(3);
+        for i in 0..100u64 {
+            c.insert(i, i * 2);
+        }
+        assert_eq!(c.len(), 3);
+        // Backing storage stays bounded by capacity, not insert count.
+        assert!(c.entries.len() <= 3);
+        assert_eq!(c.get(&99), Some(&198));
+        assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn long_mixed_workload_stays_consistent() {
+        let mut c = LruCache::new(8);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // recency list, MRU first
+        for step in 0..500u64 {
+            let key = step % 13;
+            if step % 3 == 0 {
+                if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                    let got = *c.get(&key).unwrap();
+                    assert_eq!(got, model[pos].1);
+                    let e = model.remove(pos);
+                    model.insert(0, e);
+                } else {
+                    assert_eq!(c.get(&key), None);
+                }
+            } else {
+                c.insert(key, step);
+                if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                    model.remove(pos);
+                }
+                model.insert(0, (key, step));
+                model.truncate(8);
+            }
+        }
+        for (k, v) in &model {
+            assert_eq!(c.get(k), Some(v));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough for a JSON
+//! inference API: request line + headers + `Content-Length` body in,
+//! one `Connection: close` response out. No keep-alive, no chunked
+//! encoding, no TLS; every connection carries exactly one exchange.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+use explainti_api::{ApiError, ErrorCode};
+
+/// Upper bound on a request body; larger payloads get 413.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Upper bound on a single header line (incl. the request line).
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed inbound request.
+#[derive(Debug)]
+pub struct Request {
+    /// HTTP method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, e.g. `/v1/interpret` (query strings kept as-is).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, ApiError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(_) => return Err(ApiError::bad_request("connection closed mid-request")),
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(ApiError::new(ErrorCode::PayloadTooLarge, "header line too long"));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ApiError::bad_request("header is not valid UTF-8"))
+}
+
+/// Reads and parses one HTTP/1.1 request from the stream.
+pub fn read_request(stream: &TcpStream) -> Result<Request, ApiError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ApiError::bad_request("empty request line"))?
+        .to_ascii_uppercase();
+    let path =
+        parts.next().ok_or_else(|| ApiError::bad_request("request line has no path"))?.to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ApiError::bad_request("expected an HTTP/1.x request")),
+    }
+
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            if content_length > 0 {
+                reader
+                    .read_exact(&mut body)
+                    .map_err(|_| ApiError::bad_request("body shorter than Content-Length"))?;
+            }
+            return Ok(Request { method, path, body });
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ApiError::bad_request("invalid Content-Length"))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(ApiError::new(
+                        ErrorCode::PayloadTooLarge,
+                        format!("body exceeds {MAX_BODY_BYTES} bytes"),
+                    ));
+                }
+            }
+        }
+    }
+    Err(ApiError::bad_request("too many headers"))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes. The connection is
+/// single-exchange, so the response always carries `Connection: close`.
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Serialises an [`ApiError`] as the response body at its mapped status.
+pub fn write_error(stream: &mut TcpStream, err: &ApiError) -> std::io::Result<()> {
+    let body = serde_json::to_string(err).unwrap_or_else(|_| "{}".to_string());
+    write_json(stream, err.status(), &body)
+}

@@ -1,0 +1,26 @@
+//! # explainti-serve
+//!
+//! A dependency-free (std::net) HTTP/1.1 micro-batching inference
+//! server for ExplainTI, exposed via `explainti serve`. Three moving
+//! parts, each its own module:
+//!
+//! - [`queue`] — a bounded MPMC queue whose consumers drain batches;
+//!   the backpressure point (full queue → HTTP 503).
+//! - [`cache`] — an LRU cache of full responses keyed by a hash of
+//!   `(title, header, cells)`, so repeat predictions short-circuit the
+//!   model *including* their explanations.
+//! - [`server`] — the accept loop, connection handlers, worker pool,
+//!   and graceful shutdown (drain in-flight work, then stop).
+//!
+//! Endpoints: `POST /v1/interpret` (a whole table or a single column,
+//! as [`explainti_api`] DTOs), `GET /v1/healthz`, `GET /v1/metrics`
+//! (the `explainti-obs` registry snapshot), `POST /v1/shutdown`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod queue;
+pub mod server;
+
+pub use server::{start, ServeConfig, ServerHandle};

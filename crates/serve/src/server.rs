@@ -1,0 +1,384 @@
+//! The micro-batching inference server.
+//!
+//! Connection handlers parse requests into [`explainti_api`] DTOs, look
+//! each column up in the shared LRU cache, and enqueue misses as
+//! [`Job`]s on the bounded [`BatchQueue`]. A fixed pool of worker
+//! threads drains the queue in micro-batches and runs
+//! [`ExplainTi::predict_encoded_batch`] over one shared tape, so weight
+//! snapshots amortise across concurrent requests. The queue is the
+//! backpressure point: when it is full the handler answers 503 instead
+//! of buffering, and every job carries a deadline so abandoned requests
+//! are dropped rather than computed.
+//!
+//! `ExplainTi`'s prediction path is `&self` and consumes no RNG, so all
+//! workers share one `Arc<ExplainTi>` with no locking — the "replica
+//! pool" degenerates to a single shared replica.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use explainti_api::{
+    ApiError, ColumnPrediction, ErrorCode, InterpretTableRequest, InterpretTableResponse,
+    PredictRequest, PredictResponse,
+};
+use explainti_core::ExplainTi;
+use serde::Deserialize;
+use serde_json::{json, Value};
+
+use crate::cache::LruCache;
+use crate::http;
+use crate::queue::{BatchQueue, PushError};
+
+/// How the server is sized; every knob has a CLI flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the queue. `0` is allowed for tests that
+    /// need the queue to fill deterministically.
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it answer 503.
+    pub queue_cap: usize,
+    /// Maximum jobs a worker drains per wake-up.
+    pub max_batch: usize,
+    /// LRU cache capacity (cached full responses, explanations included).
+    pub cache_cap: usize,
+    /// Per-request deadline; exceeded requests answer 504.
+    pub deadline_ms: u64,
+    /// Explanations per view in each response.
+    pub top_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            max_batch: 8,
+            cache_cap: 256,
+            deadline_ms: 30_000,
+            top_k: explainti_api::DEFAULT_TOP_K,
+        }
+    }
+}
+
+/// One queued column prediction.
+struct Job {
+    encoded: explainti_tokenizer::Encoded,
+    key: u64,
+    resp_tx: mpsc::Sender<Arc<PredictResponse>>,
+    deadline: Instant,
+}
+
+struct Shared {
+    model: Arc<ExplainTi>,
+    labels: Vec<String>,
+    queue: BatchQueue<Job>,
+    cache: Mutex<LruCache<u64, Arc<PredictResponse>>>,
+    shutdown: Arc<AtomicBool>,
+    active_conns: AtomicUsize,
+    top_k: usize,
+    max_batch: usize,
+    deadline: Duration,
+}
+
+/// Hash of the request content a cached response is keyed by.
+fn cache_key(title: &str, header: &str, cells: &[String]) -> u64 {
+    let mut h = DefaultHasher::new();
+    title.hash(&mut h);
+    header.hash(&mut h);
+    cells.hash(&mut h);
+    h.finish()
+}
+
+// ---- Worker pool ------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    while let Some(batch) = shared.queue.pop_batch(shared.max_batch) {
+        explainti_obs::set_gauge("serve.queue.depth", shared.queue.len() as f64);
+        let now = Instant::now();
+        let (live, expired): (Vec<Job>, Vec<Job>) =
+            batch.into_iter().partition(|j| j.deadline > now);
+        if !expired.is_empty() {
+            // The waiting handler already gave up; don't burn a forward.
+            explainti_obs::counter!("serve.jobs.expired", expired.len() as u64);
+        }
+        if live.is_empty() {
+            continue;
+        }
+        if explainti_obs::enabled() {
+            explainti_obs::registry().histogram("serve.batch.size").record(live.len() as u64);
+        }
+        let _span = explainti_obs::span!("serve.batch.predict");
+        let encs: Vec<explainti_tokenizer::Encoded> =
+            live.iter().map(|j| j.encoded.clone()).collect();
+        let preds = shared.model.predict_encoded_batch(&encs);
+        for (job, pred) in live.into_iter().zip(preds) {
+            let resp =
+                Arc::new(PredictResponse::from_prediction(&pred, &shared.labels, shared.top_k));
+            shared.cache.lock().unwrap().insert(job.key, Arc::clone(&resp));
+            // A closed receiver means the handler timed out; nothing to do.
+            let _ = job.resp_tx.send(resp);
+        }
+    }
+}
+
+// ---- Request handling -------------------------------------------------
+
+/// Looks the column up in the cache or enqueues it, returning a receiver
+/// for the (possibly already-delivered) response.
+fn submit_column(
+    shared: &Shared,
+    req: &PredictRequest,
+    deadline: Instant,
+) -> Result<mpsc::Receiver<Arc<PredictResponse>>, ApiError> {
+    if req.header.is_empty() && req.cells.is_empty() {
+        return Err(ApiError::bad_request("column has neither header nor cells"));
+    }
+    let key = cache_key(&req.title, &req.header, &req.cells);
+    let (tx, rx) = mpsc::channel();
+    if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
+        explainti_obs::counter!("serve.cache.hit", 1);
+        let _ = tx.send(Arc::clone(hit));
+        return Ok(rx);
+    }
+    explainti_obs::counter!("serve.cache.miss", 1);
+    let cells: Vec<&str> = req.cells.iter().map(String::as_str).collect();
+    let encoded = shared.model.encode_ad_hoc_column(&req.title, &req.header, &cells);
+    let job = Job { encoded, key, resp_tx: tx, deadline };
+    match shared.queue.push(job) {
+        Ok(()) => {
+            explainti_obs::set_gauge("serve.queue.depth", shared.queue.len() as f64);
+            Ok(rx)
+        }
+        Err(PushError::Full) => Err(ApiError::new(
+            ErrorCode::QueueFull,
+            format!("request queue at capacity ({})", shared.queue.capacity()),
+        )),
+        Err(PushError::Closed) => {
+            Err(ApiError::new(ErrorCode::ShuttingDown, "server is shutting down"))
+        }
+    }
+}
+
+fn await_response(
+    rx: &mpsc::Receiver<Arc<PredictResponse>>,
+    deadline: Instant,
+) -> Result<Arc<PredictResponse>, ApiError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    rx.recv_timeout(remaining)
+        .map_err(|_| ApiError::new(ErrorCode::DeadlineExceeded, "prediction missed its deadline"))
+}
+
+fn handle_interpret(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
+    let _span = explainti_obs::span!("serve.request.interpret");
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(ApiError::new(ErrorCode::ShuttingDown, "server is shutting down"));
+    }
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not valid UTF-8"))?;
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| ApiError::bad_request(format!("bad JSON: {e}")))?;
+    let deadline = Instant::now() + shared.deadline;
+
+    // A body with a "columns" key is a whole table; otherwise a single
+    // column. (The vendored serde has no untagged enums, so the dispatch
+    // is a one-key sniff on the parsed tree.)
+    if value.get("columns").is_some() {
+        let req = InterpretTableRequest::from_value(&value)
+            .map_err(|e| ApiError::bad_request(format!("bad table request: {e}")))?;
+        if req.columns.is_empty() {
+            return Err(ApiError::bad_request("table has no columns"));
+        }
+        // Enqueue every column before waiting on any, so one connection's
+        // table still forms a micro-batch for the workers.
+        let mut pending = Vec::with_capacity(req.columns.len());
+        for idx in 0..req.columns.len() {
+            let col = req.column_request(idx);
+            pending.push((col.header.clone(), submit_column(shared, &col, deadline)?));
+        }
+        let mut columns = Vec::with_capacity(pending.len());
+        for (header, rx) in pending {
+            let resp = await_response(&rx, deadline)?;
+            columns.push(ColumnPrediction { header, prediction: (*resp).clone() });
+        }
+        let out = InterpretTableResponse { title: req.title, columns };
+        Ok(serde_json::to_string(&out).unwrap_or_default())
+    } else {
+        let req = PredictRequest::from_value(&value)
+            .map_err(|e| ApiError::bad_request(format!("bad predict request: {e}")))?;
+        let rx = submit_column(shared, &req, deadline)?;
+        let resp = await_response(&rx, deadline)?;
+        Ok(serde_json::to_string(&*resp).unwrap_or_default())
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // A stalled client must not block shutdown drain forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let request = match http::read_request(&stream) {
+        Ok(r) => r,
+        Err(err) => {
+            let _ = http::write_error(&mut stream, &err);
+            return;
+        }
+    };
+    explainti_obs::counter!("serve.requests", 1);
+    let result: Result<String, ApiError> = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/interpret") => handle_interpret(shared, &request.body),
+        ("GET", "/v1/healthz") => {
+            let _span = explainti_obs::span!("serve.request.healthz");
+            Ok(serde_json::to_string(&json!({"status": "ok"})).unwrap_or_default())
+        }
+        ("GET", "/v1/metrics") => {
+            let _span = explainti_obs::span!("serve.request.metrics");
+            Ok(serde_json::to_string(&explainti_obs::summary()).unwrap_or_default())
+        }
+        ("POST", "/v1/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Ok(serde_json::to_string(&json!({"status": "shutting down"})).unwrap_or_default())
+        }
+        ("POST" | "GET", "/v1/interpret" | "/v1/healthz" | "/v1/metrics" | "/v1/shutdown") => {
+            Err(ApiError::new(ErrorCode::MethodNotAllowed, "wrong method for this endpoint"))
+        }
+        (_, path) => Err(ApiError::new(ErrorCode::NotFound, format!("no such endpoint: {path}"))),
+    };
+    match result {
+        Ok(body) => {
+            let _ = http::write_json(&mut stream, 200, &body);
+        }
+        Err(err) => {
+            let _ = http::write_error(&mut stream, &err);
+        }
+    }
+}
+
+// ---- Server lifecycle -------------------------------------------------
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] (or POST `/v1/shutdown`) then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain in-flight
+    /// connections and queued jobs, stop the workers.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The shutdown flag, for wiring to an external signal (the CLI
+    /// registers this so Ctrl-C triggers the same graceful drain).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Blocks until the accept loop, every connection handler, and every
+    /// worker have exited. Idempotent.
+    pub fn join(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the accept loop plus worker pool.
+///
+/// `labels` are the human-readable names responses resolve label indices
+/// against (typically the corpus's `type_labels`).
+pub fn start(
+    model: Arc<ExplainTi>,
+    labels: Vec<String>,
+    cfg: ServeConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        model,
+        labels,
+        queue: BatchQueue::new(cfg.queue_cap),
+        cache: Mutex::new(LruCache::new(cfg.cache_cap)),
+        shutdown: Arc::clone(&shutdown),
+        active_conns: AtomicUsize::new(0),
+        top_k: cfg.top_k.max(1),
+        max_batch: cfg.max_batch.max(1),
+        deadline: Duration::from_millis(cfg.deadline_ms.max(1)),
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..cfg.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || {
+            accept_loop(&listener, &accept_shared);
+            // Stopped accepting; wait out in-flight connections, then let
+            // the workers drain what is already queued and exit.
+            while accept_shared.active_conns.load(Ordering::SeqCst) > 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            accept_shared.queue.close();
+            for w in workers {
+                let _ = w.join();
+            }
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut conn_id = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                conn_id += 1;
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("serve-conn-{conn_id}"))
+                    .spawn(move || {
+                        handle_connection(&conn_shared, stream);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end tests for the inference server: raw `TcpStream` clients
+//! against a real listener on an ephemeral port.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use explainti_api::{InterpretTableResponse, PredictResponse};
+use explainti_core::{ExplainTi, ExplainTiConfig};
+use explainti_serve::{start, ServeConfig};
+use serde_json::Value;
+
+fn tiny_model() -> (Arc<ExplainTi>, Vec<String>) {
+    let d = explainti_corpus::generate_wiki(&explainti_corpus::WikiConfig {
+        num_tables: 40,
+        seed: 4242,
+        ..Default::default()
+    });
+    let cfg = ExplainTiConfig::bert_like(2048, 32);
+    let mut m = ExplainTi::new(&d, cfg);
+    // No training needed — determinism and explanation structure are
+    // what's under test. GE needs the embedding store populated.
+    for t in 0..m.tasks().len() {
+        m.refresh_store(t);
+    }
+    (Arc::new(m), d.collection.type_labels.clone())
+}
+
+/// One HTTP/1.1 exchange over a fresh connection.
+fn request(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let msg = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serves_interpret_cache_metrics_errors_and_shutdown() {
+    let (model, labels) = tiny_model();
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        max_batch: 4,
+        cache_cap: 32,
+        deadline_ms: 30_000,
+        ..Default::default()
+    };
+    let mut handle = start(Arc::clone(&model), labels.clone(), cfg).expect("start server");
+    let addr = handle.addr();
+
+    // Health check.
+    let (status, body) = request(&addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"), "healthz body: {body}");
+
+    // Cold single-column interpret.
+    let col = r#"{"title":"1994 world cup","header":"country","cells":["costa rica","morocco","norway"]}"#;
+    let (status, body) = request(&addr, "POST", "/v1/interpret", col);
+    assert_eq!(status, 200, "interpret failed: {body}");
+    let served: PredictResponse = serde_json::from_str(&body).expect("response deserialises");
+    assert!(served.label_id < labels.len());
+    assert!(!served.local.is_empty(), "local explanations missing");
+    assert!(!served.global.is_empty(), "global explanations missing");
+
+    // The server's answer is byte-identical to the in-process prediction
+    // path the CLI `interpret` command uses.
+    let direct =
+        model.predict_column("1994 world cup", "country", &["costa rica", "morocco", "norway"]);
+    let direct_resp =
+        PredictResponse::from_prediction(&direct, &labels, explainti_api::DEFAULT_TOP_K);
+    assert_eq!(body, serde_json::to_string(&direct_resp).unwrap());
+
+    // Repeat request: identical answer, now a cache hit in /v1/metrics.
+    let (status, body2) = request(&addr, "POST", "/v1/interpret", col);
+    assert_eq!(status, 200);
+    assert_eq!(body2, body);
+    let (status, metrics) = request(&addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let metrics: Value = serde_json::from_str(&metrics).unwrap();
+    let hits = metrics
+        .get("counters")
+        .and_then(|c| c.get("serve.cache.hit"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(hits >= 1, "expected a cache hit, metrics: {metrics:?}");
+
+    // Whole table: per-column answers match the single-column path.
+    let table = r#"{"title":"1994 world cup","columns":[
+        {"header":"country","cells":["costa rica","morocco","norway"]},
+        {"header":"rank","cells":["1","2","3"]}]}"#;
+    let (status, body) = request(&addr, "POST", "/v1/interpret", table);
+    assert_eq!(status, 200, "table interpret failed: {body}");
+    let table_resp: InterpretTableResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(table_resp.columns.len(), 2);
+    assert_eq!(table_resp.columns[0].header, "country");
+    assert_eq!(table_resp.columns[0].prediction.label, served.label);
+
+    // Error paths.
+    let (status, body) = request(&addr, "POST", "/v1/interpret", "{not json");
+    assert_eq!(status, 400, "body: {body}");
+    assert!(body.contains("BadRequest"));
+    let (status, _) = request(&addr, "POST", "/v1/interpret", r#"{"wrong":"shape"}"#);
+    assert_eq!(status, 400);
+    let (status, _) = request(&addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(&addr, "GET", "/v1/interpret", "");
+    assert_eq!(status, 405);
+
+    // Graceful shutdown via the endpoint; join() must return.
+    let (status, _) = request(&addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join();
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Some platforms accept briefly during teardown; a request
+            // must at least not be served.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n").ok();
+            let mut out = String::new();
+            s.read_to_string(&mut out).ok();
+            out.is_empty()
+        },
+        "server still answering after shutdown"
+    );
+}
+
+#[test]
+fn full_queue_returns_503_without_hanging() {
+    let (model, labels) = tiny_model();
+    // No workers: nothing drains the queue, so capacity 2 overflows on
+    // the third column of a five-column table — deterministically.
+    let cfg = ServeConfig { workers: 0, queue_cap: 2, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let addr = handle.addr();
+
+    let table = r#"{"title":"t","columns":[
+        {"header":"a","cells":["1"]},{"header":"b","cells":["2"]},
+        {"header":"c","cells":["3"]},{"header":"d","cells":["4"]},
+        {"header":"e","cells":["5"]}]}"#;
+    let (status, body) = request(&addr, "POST", "/v1/interpret", table);
+    assert_eq!(status, 503, "body: {body}");
+    assert!(body.contains("QueueFull"), "body: {body}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn concurrent_clients_all_get_answers() {
+    let (model, labels) = tiny_model();
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 32,
+        max_batch: 8,
+        deadline_ms: 60_000,
+        ..Default::default()
+    };
+    let mut handle = start(model, labels.clone(), cfg).expect("start server");
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let body = format!(
+                    r#"{{"title":"table {i}","header":"col{i}","cells":["v{i}a","v{i}b"]}}"#
+                );
+                request(&addr, "POST", "/v1/interpret", &body)
+            })
+        })
+        .collect();
+    for c in clients {
+        let (status, body) = c.join().unwrap();
+        assert_eq!(status, 200, "body: {body}");
+        let resp: PredictResponse = serde_json::from_str(&body).unwrap();
+        assert!(resp.label_id < labels.len());
+    }
+
+    handle.shutdown();
+    handle.join();
+}

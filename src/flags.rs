@@ -1,0 +1,353 @@
+//! Typed command-line flag specs.
+//!
+//! Each subcommand declares its flags up front — name, whether a value
+//! is expected, help text — and parsing validates against that spec:
+//! unknown flags are rejected, required flags are enforced, and usage
+//! text is generated from the same declaration, so help and behaviour
+//! cannot drift apart.
+//!
+//! The predecessor parser guessed flag arity from the *next* token: a
+//! value flag followed by a `--`-prefixed value (`--out --weird-name`)
+//! was silently reclassified as a boolean and the value became a
+//! positional. Here arity comes from the spec, so that input is a loud
+//! [`FlagError::MissingValue`], with `--key=value` as the escape hatch
+//! for values that genuinely start with `--`.
+
+use std::collections::{HashMap, HashSet};
+use std::str::FromStr;
+
+/// How a parse failed; rendered to the user next to the usage text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlagError {
+    /// A `--flag` the spec doesn't declare.
+    UnknownFlag(String),
+    /// A value flag at the end of the line or followed by another flag.
+    MissingValue(String),
+    /// A required flag that never appeared.
+    MissingRequired(String),
+    /// A boolean flag given as `--flag=value`.
+    UnexpectedValue(String),
+    /// A positional argument for a command that takes none.
+    UnexpectedPositional(String),
+    /// A value that failed to parse as its declared type.
+    BadValue { flag: String, value: String, expected: &'static str },
+}
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlagError::UnknownFlag(n) => write!(f, "unknown flag --{n}"),
+            FlagError::MissingValue(n) => write!(
+                f,
+                "flag --{n} needs a value (use --{n}=VALUE if the value starts with '--')"
+            ),
+            FlagError::MissingRequired(n) => write!(f, "missing required flag --{n}"),
+            FlagError::UnexpectedValue(n) => write!(f, "flag --{n} does not take a value"),
+            FlagError::UnexpectedPositional(a) => {
+                write!(f, "unexpected positional argument {a:?}")
+            }
+            FlagError::BadValue { flag, value, expected } => {
+                write!(f, "flag --{flag}: {value:?} is not a valid {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+    required: bool,
+    value_name: &'static str,
+    help: &'static str,
+}
+
+/// Declarative spec for one subcommand: flags + positional arity.
+pub struct CommandSpec {
+    name: &'static str,
+    about: &'static str,
+    flags: Vec<FlagSpec>,
+    /// `Some((metavar, min_count))` when positionals are accepted.
+    positionals: Option<(&'static str, usize)>,
+}
+
+impl CommandSpec {
+    /// A new spec; flags are added with the builder methods.
+    pub fn new(name: &'static str, about: &'static str) -> Self {
+        Self { name, about, flags: Vec::new(), positionals: None }
+    }
+
+    fn flag(mut self, spec: FlagSpec) -> Self {
+        debug_assert!(
+            self.flags.iter().all(|f| f.name != spec.name),
+            "duplicate flag --{}",
+            spec.name
+        );
+        self.flags.push(spec);
+        self
+    }
+
+    /// A required `--name VALUE` flag.
+    pub fn required_value(
+        self,
+        name: &'static str,
+        value_name: &'static str,
+        help: &'static str,
+    ) -> Self {
+        self.flag(FlagSpec { name, takes_value: true, required: true, value_name, help })
+    }
+
+    /// An optional `--name VALUE` flag.
+    pub fn value(self, name: &'static str, value_name: &'static str, help: &'static str) -> Self {
+        self.flag(FlagSpec { name, takes_value: true, required: false, value_name, help })
+    }
+
+    /// A boolean `--name` switch.
+    pub fn switch(self, name: &'static str, help: &'static str) -> Self {
+        self.flag(FlagSpec { name, takes_value: false, required: false, value_name: "", help })
+    }
+
+    /// Accept positional arguments (at least `min` of them).
+    pub fn positionals(mut self, metavar: &'static str, min: usize) -> Self {
+        self.positionals = Some((metavar, min));
+        self
+    }
+
+    /// The command name this spec was declared with.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One generated usage block: synopsis plus per-flag help lines.
+    pub fn usage(&self) -> String {
+        let mut synopsis = format!("explainti {}", self.name);
+        for f in &self.flags {
+            let item = if f.takes_value {
+                format!("--{} <{}>", f.name, f.value_name)
+            } else {
+                format!("--{}", f.name)
+            };
+            if f.required {
+                synopsis.push_str(&format!(" {item}"));
+            } else {
+                synopsis.push_str(&format!(" [{item}]"));
+            }
+        }
+        if let Some((metavar, min)) = self.positionals {
+            synopsis.push_str(if min > 0 { " " } else { " [" });
+            synopsis.push_str(metavar);
+            synopsis.push_str(if min > 0 { "…" } else { "…]" });
+        }
+        let mut out = format!("{synopsis}\n    {}\n", self.about);
+        for f in &self.flags {
+            let lhs = if f.takes_value {
+                format!("--{} <{}>", f.name, f.value_name)
+            } else {
+                format!("--{}", f.name)
+            };
+            out.push_str(&format!("      {lhs:<24} {}\n", f.help));
+        }
+        out
+    }
+
+    /// Parses `args` against this spec.
+    pub fn parse(&self, args: &[String]) -> Result<Parsed, FlagError> {
+        let mut values = HashMap::new();
+        let mut switches = HashSet::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            i += 1;
+            let Some(stripped) = arg.strip_prefix("--") else {
+                if self.positionals.is_none() {
+                    return Err(FlagError::UnexpectedPositional(arg.clone()));
+                }
+                positional.push(arg.clone());
+                continue;
+            };
+            let (key, inline_value) = match stripped.split_once('=') {
+                Some((k, v)) => (k, Some(v.to_string())),
+                None => (stripped, None),
+            };
+            let Some(spec) = self.flags.iter().find(|f| f.name == key) else {
+                return Err(FlagError::UnknownFlag(key.to_string()));
+            };
+            if spec.takes_value {
+                let value = match inline_value {
+                    Some(v) => v,
+                    None => {
+                        // Arity comes from the spec: the next token is the
+                        // value *unless* it looks like another flag, which
+                        // is the classic typo (`--out --epochs`) the old
+                        // parser swallowed. `--key=value` opts out.
+                        match args.get(i) {
+                            Some(next) if !next.starts_with("--") => {
+                                i += 1;
+                                next.clone()
+                            }
+                            _ => return Err(FlagError::MissingValue(key.to_string())),
+                        }
+                    }
+                };
+                values.insert(spec.name, value);
+            } else {
+                if inline_value.is_some() {
+                    return Err(FlagError::UnexpectedValue(key.to_string()));
+                }
+                switches.insert(spec.name);
+            }
+        }
+        for f in self.flags.iter().filter(|f| f.required) {
+            if !values.contains_key(f.name) {
+                return Err(FlagError::MissingRequired(f.name.to_string()));
+            }
+        }
+        if let Some((metavar, min)) = self.positionals {
+            if positional.len() < min {
+                return Err(FlagError::MissingRequired(format!("<{metavar}>")));
+            }
+        }
+        Ok(Parsed { values, switches, positional })
+    }
+}
+
+/// Validated arguments for one command invocation.
+#[derive(Debug)]
+pub struct Parsed {
+    values: HashMap<&'static str, String>,
+    switches: HashSet<&'static str>,
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+}
+
+impl Parsed {
+    /// The raw value of a flag, if given.
+    pub fn get(&self, name: &'static str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn is_set(&self, name: &'static str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// A flag parsed into `T`, or `None` when absent. Parse failures are
+    /// loud errors, not silent fallbacks.
+    pub fn get_opt<T: FromStr>(&self, name: &'static str) -> Result<Option<T>, FlagError> {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| FlagError::BadValue {
+                flag: name.to_string(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// A flag parsed into `T`, or `default` when absent.
+    pub fn get_or<T: FromStr>(&self, name: &'static str, default: T) -> Result<T, FlagError> {
+        Ok(self.get_opt(name)?.unwrap_or(default))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn spec() -> CommandSpec {
+        CommandSpec::new("train", "train a model")
+            .required_value("corpus", "FILE", "corpus JSON")
+            .value("epochs", "N", "training epochs")
+            .switch("roberta", "use the RoBERTa-like variant")
+            .positionals("file.csv", 0)
+    }
+
+    #[test]
+    fn parses_values_switches_and_positionals() {
+        let p = spec()
+            .parse(&argv(&["--corpus", "c.json", "--roberta", "a.csv", "b.csv", "--epochs", "5"]))
+            .unwrap();
+        assert_eq!(p.get("corpus"), Some("c.json"));
+        assert_eq!(p.get_or("epochs", 0usize).unwrap(), 5);
+        assert!(p.is_set("roberta"));
+        assert_eq!(p.positional, vec!["a.csv", "b.csv"]);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = spec().parse(&argv(&["--corpus", "c.json", "--bogus"])).unwrap_err();
+        assert_eq!(err, FlagError::UnknownFlag("bogus".into()));
+    }
+
+    #[test]
+    fn missing_required_flag_is_rejected() {
+        let err = spec().parse(&argv(&["--epochs", "3"])).unwrap_err();
+        assert_eq!(err, FlagError::MissingRequired("corpus".into()));
+    }
+
+    #[test]
+    fn value_flag_followed_by_flag_errors_loudly() {
+        // Regression: the old parser silently reclassified `--corpus` as a
+        // boolean here and `--epochs` ate "a.csv" as its value.
+        let err = spec().parse(&argv(&["--corpus", "--epochs", "3"])).unwrap_err();
+        assert_eq!(err, FlagError::MissingValue("corpus".into()));
+    }
+
+    #[test]
+    fn trailing_value_flag_errors_loudly() {
+        let err = spec().parse(&argv(&["--corpus"])).unwrap_err();
+        assert_eq!(err, FlagError::MissingValue("corpus".into()));
+    }
+
+    #[test]
+    fn equals_syntax_allows_dashed_values() {
+        let p = spec().parse(&argv(&["--corpus=--odd--name.json"])).unwrap();
+        assert_eq!(p.get("corpus"), Some("--odd--name.json"));
+    }
+
+    #[test]
+    fn switch_with_value_is_rejected() {
+        let err = spec().parse(&argv(&["--corpus", "c.json", "--roberta=yes"])).unwrap_err();
+        assert_eq!(err, FlagError::UnexpectedValue("roberta".into()));
+    }
+
+    #[test]
+    fn bad_typed_value_is_loud() {
+        let p = spec().parse(&argv(&["--corpus", "c.json", "--epochs", "many"])).unwrap();
+        assert!(matches!(
+            p.get_or("epochs", 0usize),
+            Err(FlagError::BadValue { ref flag, .. }) if flag == "epochs"
+        ));
+    }
+
+    #[test]
+    fn positionals_rejected_when_not_declared() {
+        let spec = CommandSpec::new("evaluate", "eval").required_value("model", "DIR", "model");
+        let err = spec.parse(&argv(&["--model", "m", "stray.csv"])).unwrap_err();
+        assert_eq!(err, FlagError::UnexpectedPositional("stray.csv".into()));
+    }
+
+    #[test]
+    fn required_positionals_enforced() {
+        let spec = CommandSpec::new("interpret", "interpret")
+            .required_value("model", "DIR", "model")
+            .positionals("file.csv", 1);
+        let err = spec.parse(&argv(&["--model", "m"])).unwrap_err();
+        assert_eq!(err, FlagError::MissingRequired("<file.csv>".into()));
+    }
+
+    #[test]
+    fn usage_lists_every_flag() {
+        let text = spec().usage();
+        assert!(text.contains("--corpus <FILE>"));
+        assert!(text.contains("--epochs <N>"));
+        assert!(text.contains("--roberta"));
+        assert!(text.contains("file.csv"));
+    }
+}

@@ -19,6 +19,8 @@
 //! | [`metrics`] | `explainti-metrics` | F1 triplet, timing, reports |
 //! | [`baselines`] | `explainti-baselines` | Sherlock…TCN, SelfExplain, post-hoc |
 //! | [`xeval`] | `explainti-xeval` | sufficiency, judges, online simulation |
+//! | [`api`] | `explainti-api` | typed request/response DTOs + error codes |
+//! | [`serve`] | `explainti-serve` | micro-batching HTTP inference server |
 //!
 //! ## Quickstart
 //!
@@ -39,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub use explainti_ann as ann;
+pub use explainti_api as api;
 pub use explainti_baselines as baselines;
 pub use explainti_core as core;
 pub use explainti_corpus as corpus;
 pub use explainti_encoder as encoder;
 pub use explainti_metrics as metrics;
 pub use explainti_nn as nn;
+pub use explainti_serve as serve;
 pub use explainti_table as table;
 pub use explainti_tokenizer as tokenizer;
 pub use explainti_xeval as xeval;

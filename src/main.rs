@@ -1,11 +1,13 @@
 //! `explainti` — command-line interface for the ExplainTI reproduction.
 //!
 //! ```text
-//! explainti generate --out corpus.json [--tables N] [--git]
-//! explainti train    --corpus corpus.json --out model-dir [--epochs N] [--roberta]
-//!                    [--report-out report.json]
-//! explainti interpret --model model-dir file.csv [file2.csv …]
-//! explainti evaluate --model model-dir
+//! explainti generate  --out corpus.json [--tables N] [--git]
+//! explainti train     --corpus corpus.json --out model-dir [--epochs N] [--roberta]
+//!                     [--report-out report.json]
+//! explainti interpret --model model-dir [--json] [--top-k N] file.csv [file2.csv …]
+//! explainti evaluate  --model model-dir
+//! explainti serve     --model model-dir [--addr host:port] [--workers N] [--max-batch N]
+//!                     [--queue-cap N] [--cache-cap N] [--deadline-ms N] [--top-k N]
 //! ```
 //!
 //! Every command accepts `--trace-out <trace.jsonl>` to stream telemetry
@@ -13,91 +15,106 @@
 //! Unless telemetry is off, a per-stage latency table prints to stderr at
 //! the end of the run.
 //!
-//! `train` stores both the corpus snapshot and the weight checkpoint in
-//! the model directory, so `interpret`/`evaluate` can rebuild the exact
-//! model (tokenizers and parameter layouts derive deterministically from
-//! the corpus + config).
+//! `train` writes the model-directory layout (corpus snapshot, encoder
+//! variant, weight checkpoint) that `interpret`, `evaluate`, and `serve`
+//! all load — tokenizers and parameter layouts derive deterministically
+//! from the corpus + config. `interpret --json` emits one
+//! [`explainti::api::InterpretTableResponse`] JSON line per input file,
+//! the same DTOs (and bytes) the server returns for the same model.
 
-use explainti::corpus::{generate_git, generate_wiki, Dataset, GitConfig, WikiConfig};
+mod flags;
+
+use explainti::api::{ColumnPrediction, InterpretTableRequest, InterpretTableResponse};
+use explainti::corpus::{generate_git, generate_wiki, GitConfig, WikiConfig};
 use explainti::prelude::*;
 use explainti::table::table_from_csv_file;
+use flags::{CommandSpec, Parsed};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-fn usage() -> ExitCode {
+// ---- Command specs ----------------------------------------------------
+
+fn with_common(spec: CommandSpec) -> CommandSpec {
+    spec.value("trace-out", "FILE", "stream telemetry span events to FILE as JSONL")
+}
+
+fn all_specs() -> Vec<CommandSpec> {
+    vec![
+        with_common(
+            CommandSpec::new("generate", "generate a synthetic benchmark corpus")
+                .required_value("out", "FILE", "where to write the corpus JSON")
+                .value("tables", "N", "number of tables (default 600)")
+                .switch("git", "generate the Git-schema corpus instead of Wiki"),
+        ),
+        with_common(
+            CommandSpec::new("train", "train a model and write a model directory")
+                .required_value("corpus", "FILE", "corpus JSON from `generate`")
+                .required_value("out", "DIR", "model directory to write")
+                .value("epochs", "N", "training epochs (default from config)")
+                .value("report-out", "FILE", "write the training report JSON here")
+                .switch("roberta", "use the RoBERTa-like encoder variant"),
+        ),
+        with_common(
+            CommandSpec::new("interpret", "predict column types for CSV files")
+                .required_value("model", "DIR", "model directory from `train`")
+                .value("top-k", "N", "explanations per view in --json output (default 3)")
+                .switch("json", "emit one api::InterpretTableResponse JSON line per file")
+                .positionals("file.csv", 1),
+        ),
+        with_common(
+            CommandSpec::new("evaluate", "report test-split F1 for each task").required_value(
+                "model",
+                "DIR",
+                "model directory from `train`",
+            ),
+        ),
+        with_common(
+            CommandSpec::new("serve", "run the micro-batching HTTP inference server")
+                .required_value("model", "DIR", "model directory from `train`")
+                .value("addr", "HOST:PORT", "bind address (default 127.0.0.1:7431)")
+                .value("workers", "N", "prediction worker threads (default 2)")
+                .value("max-batch", "N", "max columns per micro-batch (default 8)")
+                .value("queue-cap", "N", "bounded queue capacity; full → 503 (default 64)")
+                .value("cache-cap", "N", "LRU response cache capacity (default 256)")
+                .value("deadline-ms", "MS", "per-request deadline; late → 504 (default 30000)")
+                .value("top-k", "N", "explanations per view in responses (default 3)"),
+        ),
+    ]
+}
+
+fn usage(specs: &[CommandSpec]) -> ExitCode {
+    eprintln!("usage:");
+    for spec in specs {
+        eprintln!("  {}", spec.usage().trim_end().replace('\n', "\n  "));
+    }
     eprintln!(
-        "usage:\n  explainti generate --out <corpus.json> [--tables N] [--git]\n  \
-         explainti train --corpus <corpus.json> --out <model-dir> [--epochs N] [--roberta]\n    \
-         [--report-out <report.json>]\n  \
-         explainti interpret --model <model-dir> <file.csv>…\n  \
-         explainti evaluate --model <model-dir>\n\n\
-         all commands accept --trace-out <trace.jsonl> (JSONL span events)\n\
-         and honour EXPLAINTI_LOG=off|info|debug (default info)"
+        "\nall commands honour EXPLAINTI_LOG=off|info|debug (default info)\n\
+         and print a per-stage latency table to stderr unless telemetry is off"
     );
     ExitCode::from(2)
 }
 
-/// Tiny flag parser: collects `--key value` pairs and positional args.
-struct Args {
-    flags: std::collections::HashMap<String, String>,
-    bools: std::collections::HashSet<String>,
-    positional: Vec<String>,
-}
+// ---- Commands ---------------------------------------------------------
 
-/// Flags that never take a value.
-const BOOL_FLAGS: &[&str] = &["git", "roberta"];
-
-fn parse_args(args: &[String]) -> Args {
-    let mut flags = std::collections::HashMap::new();
-    let mut bools = std::collections::HashSet::new();
-    let mut positional = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if let Some(key) = a.strip_prefix("--") {
-            if BOOL_FLAGS.contains(&key) {
-                bools.insert(key.to_string());
-                i += 1;
-            } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                flags.insert(key.to_string(), args[i + 1].clone());
-                i += 2;
-            } else {
-                bools.insert(key.to_string());
-                i += 1;
-            }
-        } else {
-            positional.push(a.clone());
-            i += 1;
-        }
-    }
-    Args { flags, bools, positional }
-}
-
-fn cmd_generate(args: &Args) -> ExitCode {
+fn cmd_generate(args: &Parsed) -> Result<ExitCode, String> {
     let _span = explainti_obs::span!("cli.generate");
-    let Some(out) = args.flags.get("out") else {
-        return usage();
-    };
-    let tables: usize = args.flags.get("tables").and_then(|v| v.parse().ok()).unwrap_or(600);
-    let dataset = if args.bools.contains("git") {
+    let out = args.get("out").expect("required");
+    let tables = args.get_or("tables", 600usize).map_err(|e| e.to_string())?;
+    let dataset = if args.is_set("git") {
         generate_git(&GitConfig { num_tables: tables, ..Default::default() })
     } else {
         generate_wiki(&WikiConfig { num_tables: tables, ..Default::default() })
     };
-    match serde_json::to_string(&dataset).map(|s| std::fs::write(out, s)) {
-        Ok(Ok(())) => {
-            let st = dataset.statistics();
-            println!(
-                "wrote {out}: {} tables, {} type labels, {} relation labels",
-                st.num_tables, st.num_type_labels, st.num_relation_labels
-            );
-            ExitCode::SUCCESS
-        }
-        other => {
-            eprintln!("failed to write corpus: {other:?}");
-            ExitCode::FAILURE
-        }
-    }
+    let json = serde_json::to_string(&dataset).map_err(|e| format!("serialise corpus: {e:?}"))?;
+    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    let st = dataset.statistics();
+    println!(
+        "wrote {out}: {} tables, {} type labels, {} relation labels",
+        st.num_tables, st.num_type_labels, st.num_relation_labels
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn load_dataset(path: &Path) -> Result<Dataset, String> {
@@ -105,63 +122,33 @@ fn load_dataset(path: &Path) -> Result<Dataset, String> {
     serde_json::from_str(&text).map_err(|e| format!("parse {path:?}: {e}"))
 }
 
-fn build_model(dataset: &Dataset, model_dir: &Path) -> Result<ExplainTi, String> {
-    let roberta = std::fs::read_to_string(model_dir.join("variant.txt"))
-        .map(|v| v.trim() == "roberta")
-        .unwrap_or(false);
-    let cfg = if roberta {
-        ExplainTiConfig::roberta_like(2048, 32)
-    } else {
-        ExplainTiConfig::bert_like(2048, 32)
-    };
-    let mut model = ExplainTi::new(dataset, cfg);
-    model.load_weights(&model_dir.join("weights.bin")).map_err(|e| format!("load weights: {e}"))?;
-    // GE/SE read the embedding store; rebuild it for the loaded weights.
-    for task in 0..model.tasks().len() {
-        model.refresh_store(task);
-    }
-    Ok(model)
+fn load_model(args: &Parsed) -> Result<(ExplainTi, Dataset), String> {
+    let dir = PathBuf::from(args.get("model").expect("required"));
+    ExplainTi::load_from_dir(&dir).map_err(|e| format!("load model from {dir:?}: {e}"))
 }
 
-fn cmd_train(args: &Args) -> ExitCode {
+fn cmd_train(args: &Parsed) -> Result<ExitCode, String> {
     let _span = explainti_obs::span!("cli.train");
-    let (Some(corpus), Some(out)) = (args.flags.get("corpus"), args.flags.get("out")) else {
-        return usage();
-    };
-    let dataset = match load_dataset(Path::new(corpus)) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let roberta = args.bools.contains("roberta");
-    let mut cfg = if roberta {
+    let corpus = args.get("corpus").expect("required");
+    let out = args.get("out").expect("required");
+    let dataset = load_dataset(Path::new(corpus))?;
+    let mut cfg = if args.is_set("roberta") {
         ExplainTiConfig::roberta_like(2048, 32)
     } else {
         ExplainTiConfig::bert_like(2048, 32)
     };
-    if let Some(e) = args.flags.get("epochs").and_then(|v| v.parse().ok()) {
-        cfg.epochs = e;
+    if let Some(epochs) = args.get_opt("epochs").map_err(|e| e.to_string())? {
+        cfg.epochs = epochs;
     }
     let mut model = ExplainTi::new(&dataset, cfg);
     println!("training ({} weights)…", model.num_weights());
     let report = model.train();
     println!("trained in {:?} (best epoch {})", report.total_time, report.best_epoch);
-    if let Some(path) = args.flags.get("report-out") {
-        match serde_json::to_string_pretty(&report) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("write report {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("wrote training report to {path}");
-            }
-            Err(e) => {
-                eprintln!("serialise report: {e:?}");
-                return ExitCode::FAILURE;
-            }
-        }
+    if let Some(path) = args.get("report-out") {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serialise report: {e:?}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write report {path}: {e}"))?;
+        println!("wrote training report to {path}");
     }
     for kind in [TaskKind::Type, TaskKind::Relation] {
         if model.task_index(kind).is_some() {
@@ -169,56 +156,18 @@ fn cmd_train(args: &Args) -> ExitCode {
             println!("{kind:9} test F1: {f1}");
         }
     }
-
     let dir = PathBuf::from(out);
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("create {dir:?}: {e}");
-        return ExitCode::FAILURE;
-    }
-    let corpus_copy = dir.join("corpus.json");
-    if std::fs::copy(corpus, &corpus_copy).is_err() {
-        // Fall back to re-serialising (e.g. cross-device copy).
-        if let Err(e) = std::fs::write(&corpus_copy, serde_json::to_string(&dataset).unwrap()) {
-            eprintln!("write corpus snapshot: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    if let Err(e) =
-        std::fs::write(dir.join("variant.txt"), if roberta { "roberta" } else { "bert" })
-    {
-        eprintln!("write variant: {e}");
-        return ExitCode::FAILURE;
-    }
-    if let Err(e) = model.save_weights(&dir.join("weights.bin")) {
-        eprintln!("save weights: {e}");
-        return ExitCode::FAILURE;
-    }
+    model.save_to_dir(&dir, &dataset).map_err(|e| format!("save model to {dir:?}: {e}"))?;
     println!("saved model to {dir:?}");
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_interpret(args: &Args) -> ExitCode {
+fn cmd_interpret(args: &Parsed) -> Result<ExitCode, String> {
     let _span = explainti_obs::span!("cli.interpret");
-    let Some(model_dir) = args.flags.get("model").map(PathBuf::from) else {
-        return usage();
-    };
-    if args.positional.is_empty() {
-        return usage();
-    }
-    let dataset = match load_dataset(&model_dir.join("corpus.json")) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut model = match build_model(&dataset, &model_dir) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (model, dataset) = load_model(args)?;
+    let labels = &dataset.collection.type_labels;
+    let as_json = args.is_set("json");
+    let top_k = args.get_or("top-k", explainti::api::DEFAULT_TOP_K).map_err(|e| e.to_string())?;
     let mut failures = 0usize;
     for file in &args.positional {
         let table = match table_from_csv_file(Path::new(file)) {
@@ -234,58 +183,134 @@ fn cmd_interpret(args: &Args) -> ExitCode {
                 continue;
             }
         };
-        println!("{file} (\"{}\"):", table.title);
-        for col in &table.columns {
-            let cells = col.cell_refs();
-            let p = model.predict_column(&table.title, &col.header, &cells);
-            let label = &dataset.collection.type_labels[p.label];
-            println!("  {:<20} → {label} ({:.0}%)", col.header, p.confidence * 100.0);
-            for span in p.explanation.top_local_diverse(1) {
-                println!("  {:<20}   evidence: \"{}\"", "", span.text);
+        if as_json {
+            // One api::InterpretTableResponse per line — the same DTOs
+            // (and bytes) `serve` answers with for this model.
+            let req = InterpretTableRequest::from_table(&table);
+            let mut columns = Vec::with_capacity(req.columns.len());
+            for idx in 0..req.columns.len() {
+                let col = req.column_request(idx);
+                let cells: Vec<&str> = col.cells.iter().map(String::as_str).collect();
+                let p = model.predict_column(&col.title, &col.header, &cells);
+                columns.push(ColumnPrediction {
+                    header: col.header,
+                    prediction: explainti::api::PredictResponse::from_prediction(&p, labels, top_k),
+                });
+            }
+            let resp = InterpretTableResponse { title: req.title, columns };
+            println!("{}", serde_json::to_string(&resp).unwrap_or_default());
+        } else {
+            println!("{file} (\"{}\"):", table.title);
+            for col in &table.columns {
+                let cells = col.cell_refs();
+                let p = model.predict_column(&table.title, &col.header, &cells);
+                let label = &labels[p.label];
+                println!("  {:<20} → {label} ({:.0}%)", col.header, p.confidence * 100.0);
+                for span in p.explanation.top_local_diverse(1) {
+                    println!("  {:<20}   evidence: \"{}\"", "", span.text);
+                }
             }
         }
     }
     if failures > 0 && failures == args.positional.len() {
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_evaluate(args: &Args) -> ExitCode {
+fn cmd_evaluate(args: &Parsed) -> Result<ExitCode, String> {
     let _span = explainti_obs::span!("cli.evaluate");
-    let Some(model_dir) = args.flags.get("model").map(PathBuf::from) else {
-        return usage();
-    };
-    let dataset = match load_dataset(&model_dir.join("corpus.json")) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut model = match build_model(&dataset, &model_dir) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (model, _dataset) = load_model(args)?;
     for kind in [TaskKind::Type, TaskKind::Relation] {
         if model.task_index(kind).is_some() {
             let f1 = model.evaluate(kind, Split::Test);
             println!("{kind:9} test F1 (micro/macro/weighted): {f1}");
         }
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
+
+// ---- serve ------------------------------------------------------------
+
+/// Set from the SIGINT handler; polled by the serve command so Ctrl-C
+/// triggers the same graceful drain as POST /v1/shutdown.
+static CTRL_C: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_ctrl_c_flag() {
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        CTRL_C.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_ctrl_c_flag() {}
+
+fn cmd_serve(args: &Parsed) -> Result<ExitCode, String> {
+    let (model, dataset) = load_model(args)?;
+    let cfg = explainti::serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7431").to_string(),
+        workers: args.get_or("workers", 2usize).map_err(|e| e.to_string())?,
+        queue_cap: args.get_or("queue-cap", 64usize).map_err(|e| e.to_string())?,
+        max_batch: args.get_or("max-batch", 8usize).map_err(|e| e.to_string())?,
+        cache_cap: args.get_or("cache-cap", 256usize).map_err(|e| e.to_string())?,
+        deadline_ms: args.get_or("deadline-ms", 30_000u64).map_err(|e| e.to_string())?,
+        top_k: args.get_or("top-k", explainti::api::DEFAULT_TOP_K).map_err(|e| e.to_string())?,
+    };
+    let labels = dataset.collection.type_labels.clone();
+    let mut handle = explainti::serve::start(Arc::new(model), labels, cfg)
+        .map_err(|e| format!("bind server: {e}"))?;
+    println!(
+        "listening on http://{} — POST /v1/interpret, GET /v1/healthz, GET /v1/metrics, \
+         POST /v1/shutdown (Ctrl-C drains gracefully)",
+        handle.addr()
+    );
+    install_ctrl_c_flag();
+    let shutdown_flag = handle.shutdown_flag();
+    let watcher = std::thread::spawn(move || loop {
+        if CTRL_C.load(Ordering::SeqCst) {
+            shutdown_flag.store(true, Ordering::SeqCst);
+        }
+        if shutdown_flag.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+    handle.join();
+    let _ = watcher.join();
+    println!("server drained and stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---- Entry point ------------------------------------------------------
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let specs = all_specs();
     let Some(cmd) = argv.first() else {
-        return usage();
+        return usage(&specs);
     };
-    let args = parse_args(&argv[1..]);
-    if let Some(path) = args.flags.get("trace-out") {
+    let Some(spec) = specs.iter().find(|s| s.name() == cmd.as_str()) else {
+        eprintln!("unknown command {cmd:?}\n");
+        return usage(&specs);
+    };
+    let args = match spec.parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("usage:\n  {}", spec.usage().trim_end().replace('\n', "\n  "));
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = args.get("trace-out") {
         if let Err(e) = explainti_obs::set_trace_file(Path::new(path)) {
             eprintln!("open trace file {path}: {e}");
             return ExitCode::FAILURE;
@@ -296,7 +321,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "interpret" => cmd_interpret(&args),
         "evaluate" => cmd_evaluate(&args),
-        _ => usage(),
+        "serve" => cmd_serve(&args),
+        _ => unreachable!("spec lookup covers every command"),
     };
     // Per-stage latency breakdown (the paper's Table V stages) on stderr.
     if explainti_obs::enabled() {
@@ -306,32 +332,11 @@ fn main() -> ExitCode {
         }
     }
     explainti_obs::close_trace();
-    code
-}
-
-#[cfg(test)]
-mod tests {
-    use super::parse_args;
-
-    #[test]
-    fn parses_flags_bools_and_positionals() {
-        let argv: Vec<String> =
-            ["--corpus", "c.json", "--roberta", "a.csv", "b.csv", "--epochs", "5"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
-        let args = parse_args(&argv);
-        assert_eq!(args.flags.get("corpus").unwrap(), "c.json");
-        assert_eq!(args.flags.get("epochs").unwrap(), "5");
-        assert!(args.bools.contains("roberta"));
-        assert_eq!(args.positional, vec!["a.csv", "b.csv"]);
-    }
-
-    #[test]
-    fn trailing_bool_flag() {
-        let argv: Vec<String> = ["--git"].iter().map(|s| s.to_string()).collect();
-        let args = parse_args(&argv);
-        assert!(args.bools.contains("git"));
-        assert!(args.positional.is_empty());
+    match code {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
     }
 }
