@@ -12,6 +12,12 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Similarity-evaluation work (`candidates × dim`) below which a batch
+/// stays on the calling thread: a neighbour expansion at `M = 16` over
+/// 32-dim vectors is ~1k mul-adds, far too small to ship to the pool,
+/// while construction beams over wide embeddings clear this easily.
+const PAR_MIN_SIM_WORK: usize = 1 << 14;
+
 /// HNSW construction/search parameters.
 #[derive(Debug, Clone)]
 pub struct HnswConfig {
@@ -125,6 +131,30 @@ impl HnswIndex {
         self.metric.similarity(&self.nodes[a].vector, q)
     }
 
+    /// Evaluates `sim(node, query)` for a batch of nodes, splitting the
+    /// batch over the global pool when the work (`candidates × dim`) is
+    /// large enough to amortise dispatch. Each similarity is computed
+    /// independently and results keep input order, so this is exactly
+    /// equivalent to the serial map at every thread count.
+    fn sims_batch(&self, nodes: &[usize], query: &[f32]) -> Vec<f32> {
+        let work = nodes.len() * query.len().max(1);
+        if work < PAR_MIN_SIM_WORK {
+            return nodes.iter().map(|&n| self.sim(n, query)).collect();
+        }
+        let pool = explainti_pool::global();
+        if pool.threads() == 1 {
+            return nodes.iter().map(|&n| self.sim(n, query)).collect();
+        }
+        let chunk = nodes.len().div_ceil(pool.threads() * 4).max(8);
+        let slices: Vec<&[usize]> = nodes.chunks(chunk).collect();
+        pool.map(slices.len(), |i| {
+            slices[i].iter().map(|&n| self.sim(n, query)).collect::<Vec<f32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Beam search on one layer starting from `entries`.
     ///
     /// The visited set is a `HashSet` rather than a dense bitmap so the
@@ -157,12 +187,20 @@ impl HnswIndex {
                 break;
             }
             if layer < self.nodes[best.node].neighbors.len() {
-                for &nb in &self.nodes[best.node].neighbors[layer] {
-                    if !visited.insert(nb) {
-                        continue;
-                    }
-                    visits += 1;
-                    let sim = self.sim(nb, query);
+                // Collect the unvisited neighbours first (preserving the
+                // scalar loop's visited-insertion order), batch their
+                // similarity evaluations — possibly across the pool —
+                // then replay the heap decisions sequentially in the same
+                // order. The sims are heap-independent, so this is
+                // behaviour-identical to the interleaved scalar loop.
+                let fresh: Vec<usize> = self.nodes[best.node].neighbors[layer]
+                    .iter()
+                    .copied()
+                    .filter(|&nb| visited.insert(nb))
+                    .collect();
+                visits += fresh.len() as u64;
+                let sims = self.sims_batch(&fresh, query);
+                for (&nb, &sim) in fresh.iter().zip(&sims) {
                     let worst_sim = results.peek().map(|w| w.0.sim).unwrap_or(f32::NEG_INFINITY);
                     if results.len() < ef || sim > worst_sim {
                         frontier.push(Candidate { sim, node: nb });
@@ -189,9 +227,13 @@ impl HnswIndex {
     }
 
     /// Prunes a candidate list to the `limit` most similar nodes.
+    /// Scoring goes through [`Self::sims_batch`] so large candidate sets
+    /// (construction beams) fan out over the pool; the stable sort keeps
+    /// tie order identical to the serial path.
     fn select_neighbors(&self, query: &[f32], candidates: &[usize], limit: usize) -> Vec<usize> {
+        let sims = self.sims_batch(candidates, query);
         let mut scored: Vec<(f32, usize)> =
-            candidates.iter().map(|&c| (self.sim(c, query), c)).collect();
+            sims.into_iter().zip(candidates.iter().copied()).collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal));
         scored.truncate(limit);
         scored.into_iter().map(|(_, c)| c).collect()
@@ -383,6 +425,36 @@ mod tests {
         let res = idx.search(&vectors[0], 10);
         for pair in res.windows(2) {
             assert!(pair[0].similarity >= pair[1].similarity);
+        }
+    }
+
+    #[test]
+    fn build_is_identical_across_pool_widths() {
+        // Wide vectors + a large beam push sims_batch over its parallel
+        // threshold; the built graph and search results must not depend
+        // on the pool width.
+        let vectors = random_vectors(300, 64, 33);
+        let cfg = HnswConfig { ef_construction: 300, ..HnswConfig::default() };
+        let build = || {
+            let mut idx = HnswIndex::new(Metric::Cosine, cfg.clone());
+            for (i, v) in vectors.iter().enumerate() {
+                idx.add(i, v);
+            }
+            idx
+        };
+        explainti_pool::configure(1);
+        let serial = build();
+        explainti_pool::configure(4);
+        let parallel = build();
+        explainti_pool::configure(explainti_pool::Threads::resolve(None).get());
+        for (a, b) in serial.nodes.iter().zip(&parallel.nodes) {
+            assert_eq!(a.neighbors, b.neighbors, "graph layout diverged across widths");
+        }
+        for q in [0usize, 99, 250] {
+            let ra: Vec<usize> = serial.search(&vectors[q], 8).into_iter().map(|n| n.id).collect();
+            let rb: Vec<usize> =
+                parallel.search(&vectors[q], 8).into_iter().map(|n| n.id).collect();
+            assert_eq!(ra, rb);
         }
     }
 

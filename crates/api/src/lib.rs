@@ -8,10 +8,23 @@
 //!
 //! Request side: [`PredictRequest`] (a single ad-hoc column) and
 //! [`InterpretTableRequest`] (a whole table). Response side:
-//! [`PredictResponse`] (prediction + top-k multi-view explanations,
-//! reusing the core explanation types) and [`InterpretTableResponse`].
-//! Failures are a typed [`ApiError`] with an [`ErrorCode`] that maps
-//! onto HTTP status codes.
+//! [`PredictResponse`] (prediction + top-k multi-view explanations)
+//! and [`InterpretTableResponse`]. Failures are a typed [`ApiError`]
+//! with an [`ErrorCode`] that maps onto HTTP status codes.
+//!
+//! ## Wire ownership and versioning
+//!
+//! The explanation payloads are **wire-owned** DTOs
+//! ([`LocalExplanation`], [`GlobalExplanation`],
+//! [`StructuralExplanation`]) rather than re-exports of
+//! `explainti_core`'s in-memory types: the engine's internals can now
+//! evolve (new fields, different numerics) without silently changing
+//! the public JSON, and the golden-JSON test in this crate pins the
+//! exact bytes. `From<core>` impls keep the projection one-liners.
+//! Every top-level response carries [`SCHEMA_VERSION`] in a
+//! `schema_version` field; the field names are byte-compatible with the
+//! pre-versioned wire format, so existing clients only see one added
+//! key.
 
 #![warn(missing_docs)]
 
@@ -21,6 +34,10 @@ use serde::{Deserialize, Serialize};
 
 /// Default number of explanations per view in a [`PredictResponse`].
 pub const DEFAULT_TOP_K: usize = 3;
+
+/// Version of the response wire format. Bumped when a field changes
+/// meaning or disappears; additive fields keep the version.
+pub const SCHEMA_VERSION: u32 = 1;
 
 // ---- Requests ---------------------------------------------------------
 
@@ -77,11 +94,80 @@ impl InterpretTableRequest {
     }
 }
 
+// ---- Wire-owned explanation DTOs --------------------------------------
+
+/// One local (attention-rollout token window) explanation on the wire.
+///
+/// Field names are byte-compatible with the serialisation of core's
+/// `LocalSpan`, which this crate used to expose directly; the type is
+/// owned here so the wire format is pinned independently of the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalExplanation {
+    /// Start token offset of the window within the serialised column.
+    pub start: usize,
+    /// Window length in tokens.
+    pub window: usize,
+    /// Paired window start for cross-column (CPA) explanations.
+    pub pair_start: Option<usize>,
+    /// The window's surface text.
+    pub text: String,
+    /// Relevance mass attributed to the window.
+    pub relevance: f32,
+}
+
+impl From<&LocalSpan> for LocalExplanation {
+    fn from(s: &LocalSpan) -> Self {
+        Self {
+            start: s.start,
+            window: s.window,
+            pair_start: s.pair_start,
+            text: s.text.clone(),
+            relevance: s.relevance,
+        }
+    }
+}
+
+/// One global (influential training sample) explanation on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalExplanation {
+    /// Index of the influential training sample.
+    pub sample: usize,
+    /// Influence weight (similarity-scaled vote).
+    pub influence: f32,
+    /// The influential sample's label.
+    pub label: usize,
+}
+
+impl From<&GlobalInfluence> for GlobalExplanation {
+    fn from(g: &GlobalInfluence) -> Self {
+        Self { sample: g.sample, influence: g.influence, label: g.label }
+    }
+}
+
+/// One structural (attended graph neighbour) explanation on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructuralExplanation {
+    /// Graph node id of the attended neighbour.
+    pub node: usize,
+    /// Attention mass on the neighbour.
+    pub attention: f32,
+    /// The neighbour's label (`usize::MAX` when unlabelled).
+    pub label: usize,
+}
+
+impl From<&StructuralNeighbor> for StructuralExplanation {
+    fn from(n: &StructuralNeighbor) -> Self {
+        Self { node: n.node, attention: n.attention, label: n.label }
+    }
+}
+
 // ---- Responses --------------------------------------------------------
 
 /// A prediction with its top-k multi-view explanations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PredictResponse {
+    /// Wire-format version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Predicted label name (from the model's label set).
     pub label: String,
     /// Predicted label index into the model's label set.
@@ -89,11 +175,11 @@ pub struct PredictResponse {
     /// Softmax confidence of the predicted label.
     pub confidence: f32,
     /// Top-k local explanations (non-overlapping windows, best first).
-    pub local: Vec<LocalSpan>,
+    pub local: Vec<LocalExplanation>,
     /// Top-k global explanations (influential training samples).
-    pub global: Vec<GlobalInfluence>,
+    pub global: Vec<GlobalExplanation>,
     /// Top-k structural explanations (attended graph neighbours).
-    pub structural: Vec<StructuralNeighbor>,
+    pub structural: Vec<StructuralExplanation>,
 }
 
 impl PredictResponse {
@@ -104,12 +190,13 @@ impl PredictResponse {
     pub fn from_prediction(p: &Prediction, labels: &[String], top_k: usize) -> Self {
         let label = labels.get(p.label).cloned().unwrap_or_else(|| format!("label#{}", p.label));
         Self {
+            schema_version: SCHEMA_VERSION,
             label,
             label_id: p.label,
             confidence: p.confidence,
-            local: p.explanation.top_local_diverse(top_k).into_iter().cloned().collect(),
-            global: p.explanation.top_global(top_k).to_vec(),
-            structural: p.explanation.top_structural(top_k).to_vec(),
+            local: p.explanation.top_local_diverse(top_k).into_iter().map(Into::into).collect(),
+            global: p.explanation.top_global(top_k).iter().map(Into::into).collect(),
+            structural: p.explanation.top_structural(top_k).iter().map(Into::into).collect(),
         }
     }
 }
@@ -126,10 +213,56 @@ pub struct ColumnPrediction {
 /// Per-column predictions for a whole table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InterpretTableResponse {
+    /// Wire-format version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// The table title, echoed from the request.
     pub title: String,
     /// One entry per request column, in request order.
     pub columns: Vec<ColumnPrediction>,
+}
+
+// ---- Introspection ----------------------------------------------------
+
+/// Static facts about the served model, reported by `GET /v1/config`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Encoder hidden width (`d_model`).
+    pub d_model: usize,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Maximum serialised sequence length.
+    pub max_seq: usize,
+    /// Tokenizer vocabulary size.
+    pub vocab_size: usize,
+    /// Number of output labels (column types).
+    pub num_labels: usize,
+    /// Total trainable scalar weights.
+    pub num_weights: usize,
+}
+
+/// Effective serving knobs, reported by `GET /v1/config` so operators
+/// can see what a running instance actually resolved (flags, env,
+/// defaults) without re-deriving it from the launch command line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigResponse {
+    /// Wire-format version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Request-handling worker threads (HTTP concurrency).
+    pub workers: usize,
+    /// Kernel compute threads (the shared pool's width).
+    pub threads: usize,
+    /// Bounded request-queue capacity.
+    pub queue_cap: usize,
+    /// Micro-batch size cap for the batching collector.
+    pub max_batch: usize,
+    /// Prediction cache capacity (entries).
+    pub cache_cap: usize,
+    /// Per-request deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Explanations per view in responses.
+    pub top_k: usize,
+    /// Facts about the loaded model.
+    pub model: ModelInfo,
 }
 
 // ---- Errors -----------------------------------------------------------
@@ -227,29 +360,135 @@ mod tests {
     #[test]
     fn response_round_trips_through_json() {
         let resp = PredictResponse {
+            schema_version: SCHEMA_VERSION,
             label: "country".into(),
             label_id: 4,
             confidence: 0.87,
-            local: vec![LocalSpan {
+            local: vec![LocalExplanation {
                 start: 3,
                 window: 4,
                 pair_start: None,
                 text: "costa rica".into(),
                 relevance: 0.61,
             }],
-            global: vec![GlobalInfluence { sample: 12, influence: 0.5, label: 4 }],
-            structural: vec![StructuralNeighbor { node: 7, attention: 0.9, label: 4 }],
+            global: vec![GlobalExplanation { sample: 12, influence: 0.5, label: 4 }],
+            structural: vec![StructuralExplanation { node: 7, attention: 0.9, label: 4 }],
         };
         let json = serde_json::to_string(&InterpretTableResponse {
+            schema_version: SCHEMA_VERSION,
             title: "t".into(),
             columns: vec![ColumnPrediction { header: "h".into(), prediction: resp }],
         })
         .unwrap();
         let back: InterpretTableResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.columns.len(), 1);
         assert_eq!(back.columns[0].prediction.label, "country");
         assert_eq!(back.columns[0].prediction.label_id, 4);
         assert_eq!(back.columns[0].prediction.local[0].text, "costa rica");
+    }
+
+    /// Pins the exact response bytes: the pre-versioned (PR 2) wire
+    /// format — alphabetically ordered keys, core field names — plus the
+    /// single added `schema_version` key. Every float is exactly
+    /// representable so formatting is platform-independent. If this test
+    /// breaks, the wire format changed and `SCHEMA_VERSION` must bump.
+    #[test]
+    fn golden_json_matches_frozen_wire_format() {
+        let resp = PredictResponse {
+            schema_version: SCHEMA_VERSION,
+            label: "country".into(),
+            label_id: 4,
+            confidence: 0.5,
+            local: vec![
+                LocalExplanation {
+                    start: 3,
+                    window: 4,
+                    pair_start: None,
+                    text: "costa rica".into(),
+                    relevance: 0.25,
+                },
+                LocalExplanation {
+                    start: 9,
+                    window: 2,
+                    pair_start: Some(1),
+                    text: "norway".into(),
+                    relevance: 0.125,
+                },
+            ],
+            global: vec![GlobalExplanation { sample: 12, influence: 0.75, label: 4 }],
+            structural: vec![StructuralExplanation { node: 7, attention: 0.5, label: 4 }],
+        };
+        let golden = concat!(
+            "{",
+            "\"confidence\":0.5,",
+            "\"global\":[{\"influence\":0.75,\"label\":4,\"sample\":12}],",
+            "\"label\":\"country\",",
+            "\"label_id\":4,",
+            "\"local\":[",
+            "{\"pair_start\":null,\"relevance\":0.25,\"start\":3,\"text\":\"costa rica\",\"window\":4},",
+            "{\"pair_start\":1,\"relevance\":0.125,\"start\":9,\"text\":\"norway\",\"window\":2}",
+            "],",
+            "\"schema_version\":1,",
+            "\"structural\":[{\"attention\":0.5,\"label\":4,\"node\":7}]",
+            "}",
+        );
+        assert_eq!(serde_json::to_string(&resp).unwrap(), golden);
+    }
+
+    /// The wire DTOs must serialise byte-identically to the core types
+    /// they replaced (minus the response-level `schema_version`), so PR 2
+    /// clients keep parsing unchanged.
+    #[test]
+    fn wire_dtos_serialize_identically_to_core_types() {
+        let core_span = LocalSpan {
+            start: 3,
+            window: 4,
+            pair_start: Some(7),
+            text: "costa rica".into(),
+            relevance: 0.25,
+        };
+        assert_eq!(
+            serde_json::to_string(&LocalExplanation::from(&core_span)).unwrap(),
+            serde_json::to_string(&core_span).unwrap(),
+        );
+        let core_global = GlobalInfluence { sample: 12, influence: 0.75, label: 4 };
+        assert_eq!(
+            serde_json::to_string(&GlobalExplanation::from(&core_global)).unwrap(),
+            serde_json::to_string(&core_global).unwrap(),
+        );
+        let core_structural = StructuralNeighbor { node: 7, attention: 0.5, label: 4 };
+        assert_eq!(
+            serde_json::to_string(&StructuralExplanation::from(&core_structural)).unwrap(),
+            serde_json::to_string(&core_structural).unwrap(),
+        );
+    }
+
+    #[test]
+    fn config_response_round_trips() {
+        let cfg = ConfigResponse {
+            schema_version: SCHEMA_VERSION,
+            workers: 4,
+            threads: 8,
+            queue_cap: 64,
+            max_batch: 8,
+            cache_cap: 1024,
+            deadline_ms: 5000,
+            top_k: 3,
+            model: ModelInfo {
+                d_model: 32,
+                layers: 2,
+                max_seq: 64,
+                vocab_size: 5000,
+                num_labels: 11,
+                num_weights: 123456,
+            },
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ConfigResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        assert!(json.contains("\"threads\":8"));
+        assert!(json.contains("\"schema_version\":1"));
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Kernel microbench — times the blocked matmul kernels and the batched
+//! CLS-embedding path at 1 thread vs N threads, writes
+//! `BENCH_kernels.json`, and **exits non-zero if the parallel results
+//! diverge from the serial ones** (they are designed to be
+//! byte-identical, so any divergence is a kernel bug, not noise).
+//!
+//! The speedup numbers are honest: `available_parallelism` is recorded
+//! alongside them, and on a single-core container the parallel runs are
+//! expected to show overhead, not gains — CI's `bench-smoke` job runs
+//! this on a multi-core runner where the ≥2× target is measurable.
+
+use explainti_bench::{write_json, MAX_SEQ, VOCAB_CAP};
+use explainti_core::{build_tokenizer, TaskData};
+use explainti_corpus::{generate_wiki, WikiConfig};
+use explainti_encoder::{EncoderConfig, TransformerEncoder};
+use explainti_nn::{ParamStore, Tensor};
+use explainti_pool::ThreadPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        last = Some(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn random_tensor(rows: usize, cols: usize, rng: &mut SmallRng) -> Tensor {
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Benchmark the width CI cares about even on narrower machines; the
+    // JSON records both numbers so a 1-core container's "speedup" of
+    // < 1 is interpretable rather than alarming.
+    let par_threads = cores.max(4);
+    println!("kernel microbench — 1 thread vs {par_threads} ({cores} cores available)");
+
+    let pool1 = ThreadPool::new(1);
+    let pool_n = ThreadPool::new(par_threads);
+    let mut rng = SmallRng::seed_from_u64(0xbe9c);
+    let mut diverged = false;
+
+    // -- Blocked matmul ---------------------------------------------------
+    let (m, k, n) = (384, 256, 384);
+    let a = random_tensor(m, k, &mut rng);
+    let b = random_tensor(k, n, &mut rng);
+    let (naive_ms, reference) = time_ms(5, || a.matmul_naive(&b));
+    let (serial_ms, serial) = time_ms(5, || a.matmul_in(&b, &pool1));
+    let (parallel_ms, parallel) = time_ms(5, || a.matmul_in(&b, &pool_n));
+    if serial.as_slice().iter().zip(parallel.as_slice()).any(|(x, y)| x.to_bits() != y.to_bits()) {
+        eprintln!("FAIL: parallel matmul diverges from serial");
+        diverged = true;
+    }
+    let worst_err = serial
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+    if worst_err > 1e-3 {
+        eprintln!("FAIL: blocked matmul drifts from the naive reference by {worst_err}");
+        diverged = true;
+    }
+    println!(
+        "matmul {m}x{k}x{n}:  naive {naive_ms:.2} ms | blocked@1 {serial_ms:.2} ms | \
+         blocked@{par_threads} {parallel_ms:.2} ms | speedup {:.2}x",
+        serial_ms / parallel_ms
+    );
+
+    // -- Batched CLS embedding (the serving hot path) ---------------------
+    let dataset = generate_wiki(&WikiConfig { num_tables: 60, seed: 777, ..Default::default() });
+    let tokenizer = build_tokenizer(&dataset, VOCAB_CAP);
+    let cfg = EncoderConfig::bert_like(tokenizer.vocab_size(), MAX_SEQ);
+    let mut store = ParamStore::new();
+    let encoder = TransformerEncoder::new(&mut store, cfg, &mut rng);
+    let type_data = TaskData::prepare_type(&dataset, &tokenizer, MAX_SEQ, false);
+    let encs: Vec<_> = type_data.samples.iter().take(48).map(|s| s.encoded.clone()).collect();
+    let batch = encs.len();
+
+    explainti_pool::configure(1);
+    let (embed_serial_ms, embeds_serial) =
+        time_ms(3, || encoder.embed_cls_batch(&store, &encs, &mut rng.clone()));
+    explainti_pool::configure(par_threads);
+    let (embed_parallel_ms, embeds_parallel) =
+        time_ms(3, || encoder.embed_cls_batch(&store, &encs, &mut rng.clone()));
+    explainti_pool::configure(explainti_pool::Threads::resolve(None).get());
+    if embeds_serial != embeds_parallel {
+        eprintln!("FAIL: parallel embed_cls_batch diverges from serial");
+        diverged = true;
+    }
+    let embed_speedup = embed_serial_ms / embed_parallel_ms;
+    println!(
+        "embed_cls_batch x{batch}:  1 thread {embed_serial_ms:.2} ms | \
+         {par_threads} threads {embed_parallel_ms:.2} ms | speedup {embed_speedup:.2}x"
+    );
+
+    let summary = json!({
+        "available_parallelism": cores,
+        "threads_parallel": par_threads,
+        "matmul": json!({
+            "shape": json!([m, k, n]),
+            "naive_ms": naive_ms,
+            "blocked_serial_ms": serial_ms,
+            "blocked_parallel_ms": parallel_ms,
+            "speedup": serial_ms / parallel_ms,
+        }),
+        "embed_cls_batch": json!({
+            "batch": batch,
+            "max_seq": MAX_SEQ,
+            "serial_ms": embed_serial_ms,
+            "parallel_ms": embed_parallel_ms,
+            "speedup": embed_speedup,
+        }),
+        "parallel_matches_serial": !diverged,
+    });
+    write_json("BENCH_kernels", &summary);
+    if let Ok(text) = serde_json::to_string_pretty(&summary) {
+        let _ = std::fs::write("BENCH_kernels.json", text);
+        eprintln!("[saved \"BENCH_kernels.json\"]");
+    }
+
+    if diverged {
+        std::process::exit(1);
+    }
+}

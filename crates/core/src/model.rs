@@ -672,6 +672,31 @@ impl ExplainTi {
     pub fn predict_encoded_batch(&self, encs: &[explainti_tokenizer::Encoded]) -> Vec<Prediction> {
         let _span = explainti_obs::span!("model.predict_batch");
         let task = self.task_index(TaskKind::Type).expect("type task not registered");
+        let pool = explainti_pool::global();
+        let chunks = pool.threads().min(encs.len());
+        if chunks <= 1 {
+            return self.predict_encoded_chunk(task, encs);
+        }
+        // Per-sequence forwards are independent (each chunk gets its own
+        // tape; `inference_rng` is a fixed-seed throwaway that inference
+        // never advances), so splitting the batch across the pool yields
+        // byte-identical predictions to the serial path in input order.
+        let chunk_len = encs.len().div_ceil(chunks);
+        let slices: Vec<&[explainti_tokenizer::Encoded]> = encs.chunks(chunk_len).collect();
+        explainti_obs::set_gauge("model.predict_batch.chunks", slices.len() as f64);
+        pool.map(slices.len(), |i| self.predict_encoded_chunk(task, slices[i]))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Single-tape worker for [`Self::predict_encoded_batch`]: one shared
+    /// graph per chunk so the encoder's weight snapshots amortise.
+    fn predict_encoded_chunk(
+        &self,
+        task: usize,
+        encs: &[explainti_tokenizer::Encoded],
+    ) -> Vec<Prediction> {
         let mut rng = self.inference_rng();
         let mut g = Graph::new();
         encs.iter()

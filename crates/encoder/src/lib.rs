@@ -228,6 +228,39 @@ impl TransformerEncoder {
         rng: &mut SmallRng,
     ) -> Vec<Tensor> {
         let _span = explainti_obs::span!("encoder.embed_cls_batch");
+        let pool = explainti_pool::global();
+        let chunks = pool.threads().min(encs.len());
+        if chunks <= 1 {
+            return self.embed_cls_chunk(store, encs, rng);
+        }
+        // Each chunk runs an independent forward on its own tape, so the
+        // per-sequence results are identical to the single-tape path (the
+        // tape only memoises read-only weight snapshots). Inference
+        // consumes no randomness — dropout is a no-op with
+        // `training = false` — so cloning the caller's RNG per chunk is
+        // observably equivalent while satisfying the pool's `Fn + Sync`
+        // closure bound.
+        let proto = rng.clone();
+        let chunk_len = encs.len().div_ceil(chunks);
+        let slices: Vec<&[Encoded]> = encs.chunks(chunk_len).collect();
+        explainti_obs::set_gauge("encoder.batch.chunks", slices.len() as f64);
+        pool.map(slices.len(), |i| {
+            let mut rng = proto.clone();
+            self.embed_cls_chunk(store, slices[i], &mut rng)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Single-tape worker for [`Self::embed_cls_batch`]: one shared
+    /// graph per chunk so weight snapshots amortise across sequences.
+    fn embed_cls_chunk(
+        &self,
+        store: &ParamStore,
+        encs: &[Encoded],
+        rng: &mut SmallRng,
+    ) -> Vec<Tensor> {
         let mut g = Graph::new();
         let outs = self.forward_batch(&mut g, store, encs, false, rng);
         outs.into_iter()
@@ -330,6 +363,20 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert_eq!(batch[0], singles[0]);
         assert_eq!(batch[1], singles[1]);
+    }
+
+    #[test]
+    fn batch_embed_is_identical_across_pool_widths() {
+        let (tok, enc, store, mut rng) = setup();
+        let words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+        let encs: Vec<_> =
+            words.iter().map(|w| encode_column(&tok, w, "header", &["cell"], 16)).collect();
+        explainti_pool::configure(1);
+        let serial = enc.embed_cls_batch(&store, &encs, &mut rng);
+        explainti_pool::configure(4);
+        let parallel = enc.embed_cls_batch(&store, &encs, &mut rng);
+        explainti_pool::configure(explainti_pool::Threads::resolve(None).get());
+        assert_eq!(serial, parallel, "pool width must not change embeddings");
     }
 
     #[test]

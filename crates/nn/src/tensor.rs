@@ -5,8 +5,125 @@
 //! treated as a single row) keeps the autograd implementation small and
 //! auditable. Shapes are checked eagerly; dimension mismatches panic with
 //! the offending shapes, which turns silent numerical bugs into loud ones.
+//!
+//! ## Matmul kernels
+//!
+//! The three products (`A·B`, `Aᵀ·B`, `A·Bᵀ`) are blocked kernels: the
+//! non-contiguous operand is packed into a transposed panel once, each
+//! output row is then a run of contiguous fixed-order dot products or
+//! axpy sweeps, and row blocks are distributed over the shared
+//! [`explainti_pool`] when the product is large enough to amortise
+//! dispatch. Every output element is computed by exactly one task with
+//! an accumulation order that depends only on the shapes — **results
+//! are byte-identical for every thread count**, which the serve
+//! integration tests and the `kernels` bench binary both assert. The
+//! pre-existing single-threaded triple loops survive as
+//! `matmul_naive`/`matmul_tn_naive`/`matmul_nt_naive`, the references
+//! the property tests compare against.
 
+use explainti_pool::ThreadPool;
 use std::fmt;
+
+/// Mul-adds below which a product is never parallelised: dispatching a
+/// pool job costs a few microseconds, so the encoder's tiny per-token
+/// products (32×32×32 ≈ 33k mul-adds) stay inline while batch-scale
+/// products (≥ 64×64×64) fan out.
+const PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// Output rows per pool task. Fixed — never derived from the thread
+/// count — so how a product is split can never change what it computes.
+const ROW_BLOCK: usize = 32;
+
+/// Minimum output rows (for `matmul`) or columns (for `matmul_tn`)
+/// before packing a transposed panel pays for itself; below it the
+/// naive streaming kernels are both faster and allocation-free.
+const PACK_MIN: usize = 8;
+
+/// Fixed-order dot product with four independent accumulators: fast
+/// without `-ffast-math`-style reassociation, and bit-reproducible
+/// because the combination order is hard-coded.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        for l in 0..8 {
+            acc[l] += x[l] * y[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    let half = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+    ((half[0] + half[1]) + (half[2] + half[3])) + tail
+}
+
+/// A `*mut f32` that may cross threads.
+///
+/// # Safety contract (callers in this module)
+/// Each pool task derives a slice from a **disjoint** row range of the
+/// output buffer, and the pool's scope blocks until every task is done,
+/// so no aliasing or dangling access is possible.
+struct SendMut(*mut f32);
+unsafe impl Send for SendMut {}
+unsafe impl Sync for SendMut {}
+
+impl SendMut {
+    /// Method (not field) access so closures capture the `SendMut`
+    /// wrapper itself rather than disjointly capturing the raw pointer.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Runs `body(row_start, row_end, out_rows)` over `[0, rows)` split
+/// into fixed [`ROW_BLOCK`] chunks, in parallel when the product is
+/// big enough, inline otherwise. `out` is the full `rows * cols`
+/// output buffer; each invocation receives only its own rows.
+fn for_row_blocks<F>(rows: usize, cols: usize, flops: usize, out: &mut [f32], body: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * cols);
+    if flops < PAR_MIN_FLOPS || rows <= ROW_BLOCK {
+        body(0, rows, out);
+        return;
+    }
+    let pool = explainti_pool::global();
+    if pool.threads() == 1 {
+        body(0, rows, out);
+        return;
+    }
+    for_row_blocks_in(&pool, rows, cols, out, body);
+}
+
+/// The parallel split itself, on an explicit pool (tests drive this
+/// directly to compare widths).
+fn for_row_blocks_in<F>(pool: &ThreadPool, rows: usize, cols: usize, out: &mut [f32], body: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    let blocks = rows.div_ceil(ROW_BLOCK);
+    if blocks <= 1 {
+        body(0, rows, out);
+        return;
+    }
+    let _span = explainti_obs::span!("nn.kernel.par");
+    let base = SendMut(out.as_mut_ptr());
+    pool.scope(blocks, |b| {
+        let start = b * ROW_BLOCK;
+        let end = (start + ROW_BLOCK).min(rows);
+        // SAFETY: blocks index disjoint row ranges of `out`, and
+        // `scope` joins every task before `out`'s borrow ends.
+        let rows_out = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(start * cols), (end - start) * cols)
+        };
+        body(start, end, rows_out);
+    });
+}
 
 /// A dense, row-major `rows x cols` matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -136,10 +253,54 @@ impl Tensor {
 
     /// Matrix product `self (r x k) * other (k x c) -> (r x c)`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams both the output
-    /// row and the right-hand-side row, which is the cache-friendly layout
-    /// for row-major data.
+    /// Blocked kernel: packs `otherᵀ` once so every output element is a
+    /// contiguous fixed-order [`dot`], then splits output row blocks over
+    /// the global pool when the product is large enough. Small products
+    /// fall back to [`Tensor::matmul_naive`].
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_dispatch(other, None)
+    }
+
+    /// [`Tensor::matmul`] on an explicit pool, bypassing the size gate.
+    /// Exists so the kernel property tests can compare pool widths; the
+    /// result is byte-identical to `matmul` whenever shapes agree on the
+    /// packing decision.
+    pub fn matmul_in(&self, other: &Tensor, pool: &ThreadPool) -> Tensor {
+        self.matmul_dispatch(other, Some(pool))
+    }
+
+    fn matmul_dispatch(&self, other: &Tensor, pool: Option<&ThreadPool>) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if self.rows < PACK_MIN || other.cols == 0 {
+            return self.matmul_naive(other);
+        }
+        let bt = other.transpose();
+        let n = other.cols;
+        let mut out = Tensor::zeros(self.rows, n);
+        let flops = self.rows * self.cols * n;
+        let body = |start: usize, _end: usize, rows_out: &mut [f32]| {
+            for (bi, out_row) in rows_out.chunks_mut(n).enumerate() {
+                let a_row = self.row_slice(start + bi);
+                for (j, out_v) in out_row.iter_mut().enumerate() {
+                    *out_v = dot(a_row, bt.row_slice(j));
+                }
+            }
+        };
+        match pool {
+            Some(p) => for_row_blocks_in(p, self.rows, n, &mut out.data, body),
+            None => for_row_blocks(self.rows, n, flops, &mut out.data, body),
+        }
+        out
+    }
+
+    /// Reference `A·B` kernel: the original single-threaded i-k-j axpy
+    /// loop. Kept as the ground truth the blocked kernel is tested
+    /// against, and as the fast path for small products.
+    pub fn matmul_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -163,8 +324,55 @@ impl Tensor {
         out
     }
 
-    /// `self^T * other`, without materialising the transpose.
+    /// `self^T * other`, without materialising the transpose of the
+    /// product. Packs `selfᵀ` once so each output row streams `other`
+    /// with a fixed k-order axpy sweep; row blocks split over the pool.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        self.matmul_tn_dispatch(other, None)
+    }
+
+    /// [`Tensor::matmul_tn`] on an explicit pool (see [`Tensor::matmul_in`]).
+    pub fn matmul_tn_in(&self, other: &Tensor, pool: &ThreadPool) -> Tensor {
+        self.matmul_tn_dispatch(other, Some(pool))
+    }
+
+    fn matmul_tn_dispatch(&self, other: &Tensor, pool: Option<&ThreadPool>) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {}x{} ^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if other.cols < PACK_MIN {
+            return self.matmul_tn_naive(other);
+        }
+        let at = self.transpose();
+        let n = other.cols;
+        let mut out = Tensor::zeros(self.cols, n);
+        let flops = self.rows * self.cols * n;
+        let body = |start: usize, _end: usize, rows_out: &mut [f32]| {
+            for (bi, out_row) in rows_out.chunks_mut(n).enumerate() {
+                let at_row = at.row_slice(start + bi);
+                for (k, &a) in at_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row_slice(k);
+                    for j in 0..n {
+                        out_row[j] += a * b_row[j];
+                    }
+                }
+            }
+        };
+        match pool {
+            Some(p) => for_row_blocks_in(p, self.cols, n, &mut out.data, body),
+            None => for_row_blocks(self.cols, n, flops, &mut out.data, body),
+        }
+        out
+    }
+
+    /// Reference `Aᵀ·B` kernel: the original single-threaded k-outer
+    /// axpy loop (ground truth + small-product fast path).
+    pub fn matmul_tn_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: {}x{} ^T * {}x{}",
@@ -188,8 +396,49 @@ impl Tensor {
         out
     }
 
-    /// `self * other^T`, without materialising the transpose.
+    /// `self * other^T`, without materialising the transpose. Both
+    /// operands are already row-major along the reduction axis, so no
+    /// packing is needed: every output element is a fixed-order [`dot`]
+    /// of two contiguous rows, with row blocks split over the pool.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        self.matmul_nt_dispatch(other, None)
+    }
+
+    /// [`Tensor::matmul_nt`] on an explicit pool (see [`Tensor::matmul_in`]).
+    pub fn matmul_nt_in(&self, other: &Tensor, pool: &ThreadPool) -> Tensor {
+        self.matmul_nt_dispatch(other, Some(pool))
+    }
+
+    fn matmul_nt_dispatch(&self, other: &Tensor, pool: Option<&ThreadPool>) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} * {}x{} ^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let n = other.rows;
+        let mut out = Tensor::zeros(self.rows, n);
+        if n == 0 {
+            return out;
+        }
+        let flops = self.rows * self.cols * n;
+        let body = |start: usize, _end: usize, rows_out: &mut [f32]| {
+            for (bi, out_row) in rows_out.chunks_mut(n).enumerate() {
+                let a_row = self.row_slice(start + bi);
+                for (j, out_v) in out_row.iter_mut().enumerate() {
+                    *out_v = dot(a_row, other.row_slice(j));
+                }
+            }
+        };
+        match pool {
+            Some(p) => for_row_blocks_in(p, self.rows, n, &mut out.data, body),
+            None => for_row_blocks(self.rows, n, flops, &mut out.data, body),
+        }
+        out
+    }
+
+    /// Reference `A·Bᵀ` kernel: the original single-threaded
+    /// one-accumulator dot loop (ground truth for the property tests).
+    pub fn matmul_nt_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} * {}x{} ^T",

@@ -24,8 +24,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use explainti_api::{
-    ApiError, ColumnPrediction, ErrorCode, InterpretTableRequest, InterpretTableResponse,
-    PredictRequest, PredictResponse,
+    ApiError, ColumnPrediction, ConfigResponse, ErrorCode, InterpretTableRequest,
+    InterpretTableResponse, ModelInfo, PredictRequest, PredictResponse, SCHEMA_VERSION,
 };
 use explainti_core::ExplainTi;
 use serde::Deserialize;
@@ -53,6 +53,12 @@ pub struct ServeConfig {
     pub deadline_ms: u64,
     /// Explanations per view in each response.
     pub top_k: usize,
+    /// Kernel compute threads (the shared pool's width). Distinct from
+    /// `workers`: workers bound how many requests are *in flight*, while
+    /// threads bound how much CPU each micro-batch forward uses. `0`
+    /// inherits the process-wide pool as already configured (CLI flag,
+    /// `EXPLAINTI_THREADS`, or available parallelism).
+    pub threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +71,7 @@ impl Default for ServeConfig {
             cache_cap: 256,
             deadline_ms: 30_000,
             top_k: explainti_api::DEFAULT_TOP_K,
+            threads: 0,
         }
     }
 }
@@ -87,6 +94,8 @@ struct Shared {
     top_k: usize,
     max_batch: usize,
     deadline: Duration,
+    /// Effective knobs + model facts, frozen at startup for `/v1/config`.
+    config: ConfigResponse,
 }
 
 /// Hash of the request content a cached response is keyed by.
@@ -209,7 +218,8 @@ fn handle_interpret(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
             let resp = await_response(&rx, deadline)?;
             columns.push(ColumnPrediction { header, prediction: (*resp).clone() });
         }
-        let out = InterpretTableResponse { title: req.title, columns };
+        let out =
+            InterpretTableResponse { schema_version: SCHEMA_VERSION, title: req.title, columns };
         Ok(serde_json::to_string(&out).unwrap_or_default())
     } else {
         let req = PredictRequest::from_value(&value)
@@ -239,15 +249,24 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         }
         ("GET", "/v1/metrics") => {
             let _span = explainti_obs::span!("serve.request.metrics");
-            Ok(serde_json::to_string(&explainti_obs::summary()).unwrap_or_default())
+            let mut summary = explainti_obs::summary();
+            if let Value::Object(map) = &mut summary {
+                map.insert("schema_version".to_string(), json!(SCHEMA_VERSION));
+            }
+            Ok(serde_json::to_string(&summary).unwrap_or_default())
+        }
+        ("GET", "/v1/config") => {
+            let _span = explainti_obs::span!("serve.request.config");
+            Ok(serde_json::to_string(&shared.config).unwrap_or_default())
         }
         ("POST", "/v1/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Ok(serde_json::to_string(&json!({"status": "shutting down"})).unwrap_or_default())
         }
-        ("POST" | "GET", "/v1/interpret" | "/v1/healthz" | "/v1/metrics" | "/v1/shutdown") => {
-            Err(ApiError::new(ErrorCode::MethodNotAllowed, "wrong method for this endpoint"))
-        }
+        (
+            "POST" | "GET",
+            "/v1/interpret" | "/v1/healthz" | "/v1/metrics" | "/v1/config" | "/v1/shutdown",
+        ) => Err(ApiError::new(ErrorCode::MethodNotAllowed, "wrong method for this endpoint")),
         (_, path) => Err(ApiError::new(ErrorCode::NotFound, format!("no such endpoint: {path}"))),
     };
     match result {
@@ -311,6 +330,33 @@ pub fn start(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    // `--threads` resizes the process-wide kernel pool; 0 leaves
+    // whatever the process already configured (CLI / env / default).
+    if cfg.threads > 0 {
+        explainti_pool::configure(cfg.threads);
+    }
+    let threads = explainti_pool::global().threads();
+
+    let enc_cfg = &model.cfg.encoder;
+    let config = ConfigResponse {
+        schema_version: SCHEMA_VERSION,
+        workers: cfg.workers,
+        threads,
+        queue_cap: cfg.queue_cap,
+        max_batch: cfg.max_batch.max(1),
+        cache_cap: cfg.cache_cap,
+        deadline_ms: cfg.deadline_ms.max(1),
+        top_k: cfg.top_k.max(1),
+        model: ModelInfo {
+            d_model: enc_cfg.d_model,
+            layers: enc_cfg.n_layers,
+            max_seq: enc_cfg.max_seq,
+            vocab_size: model.tokenizer.vocab_size(),
+            num_labels: labels.len(),
+            num_weights: model.num_weights(),
+        },
+    };
+
     let shutdown = Arc::new(AtomicBool::new(false));
     let shared = Arc::new(Shared {
         model,
@@ -322,6 +368,7 @@ pub fn start(
         top_k: cfg.top_k.max(1),
         max_batch: cfg.max_batch.max(1),
         deadline: Duration::from_millis(cfg.deadline_ms.max(1)),
+        config,
     });
 
     let workers: Vec<JoinHandle<()>> = (0..cfg.workers)

@@ -136,6 +136,94 @@ fn serves_interpret_cache_metrics_errors_and_shutdown() {
 }
 
 #[test]
+fn config_endpoint_reports_effective_knobs() {
+    let (model, labels) = tiny_model();
+    let cfg = ServeConfig {
+        workers: 3,
+        queue_cap: 17,
+        max_batch: 5,
+        cache_cap: 33,
+        deadline_ms: 12_345,
+        threads: 2,
+        ..Default::default()
+    };
+    let mut handle = start(Arc::clone(&model), labels.clone(), cfg).expect("start server");
+    let addr = handle.addr();
+
+    let (status, body) = request(&addr, "GET", "/v1/config", "");
+    assert_eq!(status, 200, "config failed: {body}");
+    let config: explainti_api::ConfigResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(config.schema_version, explainti_api::SCHEMA_VERSION);
+    assert_eq!(config.workers, 3);
+    assert_eq!(config.threads, 2);
+    assert_eq!(config.queue_cap, 17);
+    assert_eq!(config.max_batch, 5);
+    assert_eq!(config.cache_cap, 33);
+    assert_eq!(config.deadline_ms, 12_345);
+    assert_eq!(config.model.num_labels, labels.len());
+    assert_eq!(config.model.vocab_size, model.tokenizer.vocab_size());
+    assert_eq!(config.model.num_weights, model.num_weights());
+    assert!(config.model.d_model > 0 && config.model.layers > 0);
+
+    // POST on a GET endpoint is a 405, and /v1/metrics carries the wire
+    // version so scrapers can detect format changes.
+    let (status, _) = request(&addr, "POST", "/v1/config", "");
+    assert_eq!(status, 405);
+    let (status, metrics) = request(&addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let metrics: Value = serde_json::from_str(&metrics).unwrap();
+    assert_eq!(
+        metrics.get("schema_version").and_then(Value::as_u64),
+        Some(explainti_api::SCHEMA_VERSION as u64)
+    );
+
+    handle.shutdown();
+    handle.join();
+
+    // Restore the process-wide pool for the other tests in this binary.
+    explainti_pool::configure(explainti_pool::Threads::resolve(None).get());
+}
+
+/// The acceptance gate for the parallel kernels: the same requests
+/// served with `--threads 1` and `--threads 4` must produce
+/// byte-identical response bodies.
+#[test]
+fn parallel_and_serial_serving_are_byte_identical() {
+    let (model, labels) = tiny_model();
+    let table = r#"{"title":"1998 world cup","columns":[
+        {"header":"country","cells":["france","brazil","croatia"]},
+        {"header":"goals","cells":["15","14","11"]},
+        {"header":"coach","cells":["jacquet","zagallo","blazevic"]}]}"#;
+    let col = r#"{"title":"grand prix","header":"driver","cells":["senna","prost"]}"#;
+
+    let serve_once = |threads: usize| {
+        let cfg = ServeConfig {
+            workers: 2,
+            // Fresh cache per run: answers must match because the compute
+            // matches, not because one run replays the other's cache.
+            cache_cap: 4,
+            threads,
+            ..Default::default()
+        };
+        let mut handle = start(Arc::clone(&model), labels.clone(), cfg).expect("start server");
+        let addr = handle.addr();
+        let (s1, single) = request(&addr, "POST", "/v1/interpret", col);
+        let (s2, multi) = request(&addr, "POST", "/v1/interpret", table);
+        assert_eq!((s1, s2), (200, 200), "bodies: {single} / {multi}");
+        handle.shutdown();
+        handle.join();
+        (single, multi)
+    };
+
+    let serial = serve_once(1);
+    let parallel = serve_once(4);
+    assert_eq!(serial.0, parallel.0, "single-column response diverged across thread counts");
+    assert_eq!(serial.1, parallel.1, "table response diverged across thread counts");
+
+    explainti_pool::configure(explainti_pool::Threads::resolve(None).get());
+}
+
+#[test]
 fn full_queue_returns_503_without_hanging() {
     let (model, labels) = tiny_model();
     // No workers: nothing drains the queue, so capacity 2 overflows on

@@ -48,6 +48,7 @@ pub use explainti_corpus as corpus;
 pub use explainti_encoder as encoder;
 pub use explainti_metrics as metrics;
 pub use explainti_nn as nn;
+pub use explainti_pool as pool;
 pub use explainti_serve as serve;
 pub use explainti_table as table;
 pub use explainti_tokenizer as tokenizer;

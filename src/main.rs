@@ -12,6 +12,13 @@
 //!
 //! Every command accepts `--trace-out <trace.jsonl>` to stream telemetry
 //! span events as JSONL, and honours `EXPLAINTI_LOG=off|info|debug`.
+//! Every command also accepts `--threads <N>` to size the shared kernel
+//! compute pool (default: `EXPLAINTI_THREADS`, then all cores). For
+//! `serve` the two thread knobs are distinct: `--workers` bounds how many
+//! requests are processed concurrently (HTTP/queue concurrency), while
+//! `--threads` bounds how many cores each micro-batch forward may use.
+//! Results never depend on `--threads` — kernels are deterministic by
+//! construction — only latency does.
 //! Unless telemetry is off, a per-stage latency table prints to stderr at
 //! the end of the run.
 //!
@@ -37,7 +44,11 @@ use std::sync::Arc;
 // ---- Command specs ----------------------------------------------------
 
 fn with_common(spec: CommandSpec) -> CommandSpec {
-    spec.value("trace-out", "FILE", "stream telemetry span events to FILE as JSONL")
+    spec.value("trace-out", "FILE", "stream telemetry span events to FILE as JSONL").value(
+        "threads",
+        "N",
+        "kernel compute threads (default: EXPLAINTI_THREADS or all cores)",
+    )
 }
 
 fn all_specs() -> Vec<CommandSpec> {
@@ -197,7 +208,11 @@ fn cmd_interpret(args: &Parsed) -> Result<ExitCode, String> {
                     prediction: explainti::api::PredictResponse::from_prediction(&p, labels, top_k),
                 });
             }
-            let resp = InterpretTableResponse { title: req.title, columns };
+            let resp = InterpretTableResponse {
+                schema_version: explainti::api::SCHEMA_VERSION,
+                title: req.title,
+                columns,
+            };
             println!("{}", serde_json::to_string(&resp).unwrap_or_default());
         } else {
             println!("{file} (\"{}\"):", table.title);
@@ -264,6 +279,8 @@ fn cmd_serve(args: &Parsed) -> Result<ExitCode, String> {
         cache_cap: args.get_or("cache-cap", 256usize).map_err(|e| e.to_string())?,
         deadline_ms: args.get_or("deadline-ms", 30_000u64).map_err(|e| e.to_string())?,
         top_k: args.get_or("top-k", explainti::api::DEFAULT_TOP_K).map_err(|e| e.to_string())?,
+        // 0 = inherit the pool `main()` already sized from `--threads`.
+        threads: 0,
     };
     let labels = dataset.collection.type_labels.clone();
     let mut handle = explainti::serve::start(Arc::new(model), labels, cfg)
@@ -314,6 +331,19 @@ fn main() -> ExitCode {
         if let Err(e) = explainti_obs::set_trace_file(Path::new(path)) {
             eprintln!("open trace file {path}: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    // Size the shared kernel pool before any compute runs. `--threads`
+    // wins over `EXPLAINTI_THREADS`, which wins over the core count.
+    // (Serve's `--workers` is different: it bounds concurrent requests,
+    // while this bounds CPU per forward.)
+    match args.get_opt::<usize>("threads") {
+        Ok(explicit) => {
+            explainti::pool::configure(explainti::pool::Threads::resolve(explicit).get())
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
         }
     }
     let code = match cmd.as_str() {
