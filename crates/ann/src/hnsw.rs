@@ -243,6 +243,11 @@ impl HnswIndex {
 impl VectorIndex for HnswIndex {
     fn add(&mut self, id: usize, vector: &[f32]) {
         let _span = explainti_obs::span!("hnsw.insert");
+        // Chaos site: drop this insert on the floor, leaving an index
+        // that silently covers only part of the corpus.
+        if explainti_faults::triggered("ann.index.partial") {
+            return;
+        }
         let level = self.sample_level();
         let node_idx = self.nodes.len();
         self.nodes.push(HnswNode {
@@ -310,6 +315,11 @@ impl VectorIndex for HnswIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         let _span = explainti_obs::span!("hnsw.search");
+        // Chaos site: simulate a corrupt/unreadable index — the caller
+        // sees an empty result set, which GE turns into `global: []`.
+        if explainti_faults::triggered("ann.search.corrupt") {
+            return Vec::new();
+        }
         let Some(mut entry) = self.entry else {
             return Vec::new();
         };

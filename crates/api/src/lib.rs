@@ -323,6 +323,12 @@ impl ApiError {
         Self::new(ErrorCode::BadRequest, message)
     }
 
+    /// An `Internal` error (HTTP 500) — unexpected server-side failure,
+    /// e.g. a prediction worker panicking past its retry budget.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, message)
+    }
+
     /// The HTTP status of this error.
     pub fn status(&self) -> u16 {
         self.code.status()

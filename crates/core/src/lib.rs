@@ -43,6 +43,9 @@ pub use config::{ExplainTiConfig, LeMode, LeScoring, SeAggregation, TaskKind};
 pub use data::{build_tokenizer, Sample, TaskData};
 pub use explain::{Explanation, GlobalInfluence, LocalSpan, Prediction, StructuralNeighbor};
 pub use model::{ExplainTi, TaskState};
-pub use persist::{decode_weights, encode_weights};
+pub use persist::{
+    decode_weights, encode_weights, fnv1a64, Manifest, ManifestFile, PersistError, MANIFEST_NAME,
+    SNAPSHOT_FORMAT_VERSION,
+};
 pub use store::EmbeddingStore;
 pub use train::{EpochLog, TrainReport};

@@ -91,6 +91,10 @@ pub struct ExplainTi {
     pub(crate) encoder: TransformerEncoder,
     pub(crate) tasks: Vec<TaskState>,
     pub(crate) rng: SmallRng,
+    /// Set when the GE/ANN store could not be (re)built at load time;
+    /// serving continues with `global: []` and reports the flag through
+    /// `/v1/healthz` and `/v1/metrics` (DESIGN.md §11).
+    degraded: std::sync::atomic::AtomicBool,
 }
 
 impl ExplainTi {
@@ -135,7 +139,27 @@ impl ExplainTi {
             });
         }
 
-        Self { cfg, tokenizer, store, encoder, tasks, rng }
+        Self {
+            cfg,
+            tokenizer,
+            store,
+            encoder,
+            tasks,
+            rng,
+            degraded: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the model is serving in degraded mode (GE/ANN store
+    /// unavailable — global explanations come back empty).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Marks (or clears) degraded mode. `&self` so the serving layer can
+    /// flip it on a shared `Arc<ExplainTi>`.
+    pub fn set_degraded(&self, on: bool) {
+        self.degraded.store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Registered tasks.

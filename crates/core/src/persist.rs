@@ -1,20 +1,158 @@
-//! Model checkpointing: save and restore all trainable weights.
+//! Model checkpointing: save and restore all trainable weights, plus the
+//! crash-safe model-directory snapshot protocol.
 //!
-//! The binary format is deliberately simple — magic, version, weight
-//! count, little-endian `f32`s — so checkpoints stay portable across
-//! builds. A checkpoint carries *weights only*: the loader must construct
-//! the model with the same dataset and configuration first (construction
-//! order defines the parameter layout), which mirrors how pre-trained LM
-//! checkpoints work.
+//! The binary weight format is deliberately simple — magic, version,
+//! weight count, little-endian `f32`s — so checkpoints stay portable
+//! across builds. A checkpoint carries *weights only*: the loader must
+//! construct the model with the same dataset and configuration first
+//! (construction order defines the parameter layout), which mirrors how
+//! pre-trained LM checkpoints work.
+//!
+//! ## Snapshot atomicity (DESIGN.md §11)
+//!
+//! `save_to_dir` treats the model directory as durable production state,
+//! not a scratch directory. Every artifact is written with
+//! write-to-temp → fsync → atomic rename, and a `MANIFEST.json` carrying
+//! the snapshot format version plus per-file sizes and FNV-1a 64
+//! checksums is written **last** (with the same protocol). A crash at any
+//! point therefore leaves either the previous complete snapshot (manifest
+//! still describes the old files) or a detectably torn one — never a
+//! silently wrong model. `load_from_dir` refuses to load anything the
+//! manifest does not vouch for, returning a typed [`PersistError`].
+//!
+//! Failpoint sites (`explainti-faults`) bracket every write and rename so
+//! the crash matrix in `crates/core/tests/crash_recovery.rs` can prove
+//! that property for each interleaving.
 
 use crate::config::ExplainTiConfig;
 use crate::model::ExplainTi;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use explainti_corpus::Dataset;
-use std::io;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"EXPLTI01";
+
+/// Snapshot directory format version recorded in `MANIFEST.json`.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name, written last so its presence certifies a complete
+/// snapshot.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// Why a model directory could not be saved or loaded.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed (includes injected
+    /// failpoint trips, which simulate crashes/IO errors).
+    Io(io::Error),
+    /// The snapshot is incomplete: the manifest is missing, or a file the
+    /// manifest promises does not exist. Typical of a crash mid-save.
+    TornSnapshot {
+        /// What exactly is missing or inconsistent.
+        detail: String,
+    },
+    /// A file exists but its bytes do not match the manifest (checksum or
+    /// size mismatch, unparsable content, wrong format version).
+    Corrupt {
+        /// The offending file name.
+        file: String,
+        /// What failed to verify.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot io error: {e}"),
+            PersistError::TornSnapshot { detail } => {
+                write!(f, "torn snapshot (refusing to load): {detail}")
+            }
+            PersistError::Corrupt { file, detail } => {
+                write!(f, "corrupt snapshot file {file}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free, and adequate for detecting torn
+/// or bit-flipped snapshot files (not an adversarial integrity check).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// One artifact's entry in `MANIFEST.json`. The checksum is hex-encoded
+/// because the vendored JSON layer stores numbers as `f64` (exact only to
+/// 2^53).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestFile {
+    /// File name relative to the snapshot directory.
+    pub name: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// FNV-1a 64 checksum of the file contents, lowercase hex.
+    pub fnv1a64: String,
+}
+
+/// `MANIFEST.json`: written last, verified first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Snapshot directory layout version ([`SNAPSHOT_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Every artifact in the snapshot, with size and checksum.
+    pub files: Vec<ManifestFile>,
+}
+
+/// Returns an injected-fault IO error when the failpoint `site` trips.
+fn failpoint(site: &str) -> Result<(), PersistError> {
+    if explainti_faults::triggered(site) {
+        return Err(PersistError::Io(io::Error::other(format!("failpoint {site} tripped"))));
+    }
+    Ok(())
+}
+
+/// Writes one artifact crash-safely: temp file, fsync, atomic rename.
+/// `short` names the failpoint family (`persist.before_write.{short}`,
+/// `persist.after_write.{short}`, `persist.after_rename.{short}`); each
+/// site simulates a crash at that boundary by erroring out, leaving the
+/// directory exactly as a real crash would.
+fn write_artifact(dir: &Path, name: &str, short: &str, data: &[u8]) -> Result<(), PersistError> {
+    failpoint(&format!("persist.before_write.{short}"))?;
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+    }
+    failpoint(&format!("persist.after_write.{short}"))?;
+    std::fs::rename(&tmp, dir.join(name))?;
+    failpoint(&format!("persist.after_rename.{short}"))?;
+    Ok(())
+}
+
+/// Fsyncs the directory itself so renames are durable (best-effort: not
+/// every filesystem supports opening a directory for sync).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
 
 /// Encodes a flat weight vector into the checkpoint format.
 pub fn encode_weights(weights: &[f32]) -> Bytes {
@@ -78,7 +216,13 @@ impl ExplainTi {
     /// (i.e. the model was built with a different dataset/configuration).
     pub fn load_weights(&mut self, path: &Path) -> io::Result<()> {
         let data = std::fs::read(path)?;
-        let weights = decode_weights(&data)?;
+        self.load_weight_bytes(&data)
+    }
+
+    /// In-memory variant of [`Self::load_weights`] (the snapshot loader
+    /// verifies checksums over bytes it has already read).
+    pub fn load_weight_bytes(&mut self, data: &[u8]) -> io::Result<()> {
+        let weights = decode_weights(data)?;
         if weights.len() != self.num_weights() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -94,39 +238,149 @@ impl ExplainTi {
     }
 
     /// Writes the full model-directory layout (`corpus.json`,
-    /// `variant.txt`, `weights.bin`) that [`Self::load_from_dir`], the
-    /// CLI and the inference server all consume. The corpus snapshot is
-    /// required because tokenizer and parameter layouts derive
-    /// deterministically from it.
-    pub fn save_to_dir(&self, dir: &Path, dataset: &Dataset) -> io::Result<()> {
+    /// `variant.txt`, `weights.bin`, `MANIFEST.json`) that
+    /// [`Self::load_from_dir`], the CLI and the inference server all
+    /// consume. The corpus snapshot is required because tokenizer and
+    /// parameter layouts derive deterministically from it.
+    ///
+    /// Crash-safe: each artifact goes through write-to-temp + fsync +
+    /// atomic rename, and the checksummed manifest is written last — a
+    /// crash anywhere leaves the previous complete snapshot loadable or a
+    /// detectably torn directory, never a silently mixed one.
+    pub fn save_to_dir(&self, dir: &Path, dataset: &Dataset) -> Result<(), PersistError> {
+        let _span = explainti_obs::span!("persist.save_dir");
         std::fs::create_dir_all(dir)?;
         let corpus = serde_json::to_string(dataset)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
-        std::fs::write(dir.join("corpus.json"), corpus)?;
         let variant = match self.cfg.encoder.variant {
             explainti_encoder::Variant::BertLike => "bert",
             explainti_encoder::Variant::RobertaLike => "roberta",
         };
-        std::fs::write(dir.join("variant.txt"), variant)?;
-        self.save_weights(&dir.join("weights.bin"))
+        let weights = encode_weights(&self.export_all_weights());
+
+        let artifacts: [(&str, &str, &[u8]); 3] = [
+            ("corpus.json", "corpus", corpus.as_bytes()),
+            ("variant.txt", "variant", variant.as_bytes()),
+            ("weights.bin", "weights", &weights),
+        ];
+        let mut manifest = Manifest { format_version: SNAPSHOT_FORMAT_VERSION, files: Vec::new() };
+        for (name, short, data) in artifacts {
+            write_artifact(dir, name, short, data)?;
+            manifest.files.push(ManifestFile {
+                name: name.to_string(),
+                bytes: data.len() as u64,
+                fnv1a64: format!("{:016x}", fnv1a64(data)),
+            });
+        }
+        let manifest_json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        write_artifact(dir, MANIFEST_NAME, "manifest", manifest_json.as_bytes())?;
+        sync_dir(dir);
+        Ok(())
     }
 
     /// Rebuilds a model from a directory written by [`Self::save_to_dir`]
-    /// (or the `train` CLI command): reads the corpus snapshot, picks the
-    /// recorded encoder variant, loads the weight checkpoint, and
-    /// refreshes every task's embedding store so GE/SE retrievals match
-    /// the loaded weights. Returns the dataset alongside the model
-    /// because serving needs the label names.
-    pub fn load_from_dir(dir: &Path) -> io::Result<(ExplainTi, Dataset)> {
+    /// (or the `train` CLI command): verifies the manifest, reads the
+    /// corpus snapshot, picks the recorded encoder variant, loads the
+    /// weight checkpoint, and refreshes every task's embedding store so
+    /// GE/SE retrievals match the loaded weights. Returns the dataset
+    /// alongside the model because serving needs the label names.
+    ///
+    /// Refuses to load torn or corrupt snapshots with a typed error:
+    /// every file must be present, match its manifest size and FNV-1a 64
+    /// checksum, and parse — otherwise the previous snapshot (if the
+    /// manifest still describes it) is what gets loaded, by construction
+    /// of [`Self::save_to_dir`].
+    pub fn load_from_dir(dir: &Path) -> Result<(ExplainTi, Dataset), PersistError> {
         let _span = explainti_obs::span!("persist.load_dir");
-        let corpus_path = dir.join("corpus.json");
-        let text = std::fs::read_to_string(&corpus_path)?;
-        let dataset: Dataset = serde_json::from_str(&text).map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("parse {corpus_path:?}: {e}"))
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let manifest_text = match std::fs::read_to_string(&manifest_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(PersistError::TornSnapshot {
+                    detail: format!(
+                        "{MANIFEST_NAME} missing from {dir:?} — incomplete save or \
+                         pre-manifest snapshot; re-run `train` to produce one"
+                    ),
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let manifest: Manifest = serde_json::from_str(&manifest_text).map_err(|e| {
+            PersistError::Corrupt { file: MANIFEST_NAME.to_string(), detail: format!("{e}") }
         })?;
-        let roberta = std::fs::read_to_string(dir.join("variant.txt"))
-            .map(|v| v.trim() == "roberta")
-            .unwrap_or(false);
+        if manifest.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(PersistError::Corrupt {
+                file: MANIFEST_NAME.to_string(),
+                detail: format!(
+                    "format_version {} (this build reads {SNAPSHOT_FORMAT_VERSION})",
+                    manifest.format_version
+                ),
+            });
+        }
+
+        let mut verified: std::collections::HashMap<String, Vec<u8>> =
+            std::collections::HashMap::new();
+        for entry in &manifest.files {
+            let path = dir.join(&entry.name);
+            let mut data = match std::fs::read(&path) {
+                Ok(d) => d,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    return Err(PersistError::TornSnapshot {
+                        detail: format!("{} listed in manifest but missing on disk", entry.name),
+                    });
+                }
+                Err(e) => return Err(e.into()),
+            };
+            // Chaos site: simulate silent media corruption of this
+            // artifact after it was read back.
+            let short = entry.name.split('.').next().unwrap_or(&entry.name);
+            if explainti_faults::triggered(&format!("persist.load.corrupt.{short}")) {
+                if let Some(b) = data.first_mut() {
+                    *b ^= 0xff;
+                }
+            }
+            if data.len() as u64 != entry.bytes {
+                return Err(PersistError::Corrupt {
+                    file: entry.name.clone(),
+                    detail: format!(
+                        "size mismatch: manifest says {} bytes, file has {}",
+                        entry.bytes,
+                        data.len()
+                    ),
+                });
+            }
+            let sum = format!("{:016x}", fnv1a64(&data));
+            if sum != entry.fnv1a64 {
+                return Err(PersistError::Corrupt {
+                    file: entry.name.clone(),
+                    detail: format!(
+                        "checksum mismatch: manifest {} != actual {sum}",
+                        entry.fnv1a64
+                    ),
+                });
+            }
+            verified.insert(entry.name.clone(), data);
+        }
+        let take = |verified: &mut std::collections::HashMap<String, Vec<u8>>,
+                    name: &str|
+         -> Result<Vec<u8>, PersistError> {
+            verified.remove(name).ok_or_else(|| PersistError::TornSnapshot {
+                detail: format!("{name} absent from manifest"),
+            })
+        };
+
+        let corpus_bytes = take(&mut verified, "corpus.json")?;
+        let corpus_text = String::from_utf8(corpus_bytes).map_err(|e| PersistError::Corrupt {
+            file: "corpus.json".to_string(),
+            detail: format!("not UTF-8: {e}"),
+        })?;
+        let dataset: Dataset = serde_json::from_str(&corpus_text).map_err(|e| {
+            PersistError::Corrupt { file: "corpus.json".to_string(), detail: format!("{e}") }
+        })?;
+        let variant_bytes = take(&mut verified, "variant.txt")?;
+        let roberta =
+            std::str::from_utf8(&variant_bytes).map(|v| v.trim() == "roberta") == Ok(true);
         // The vocabulary cap and sequence length are the fixed CLI-wide
         // model-directory convention (see `ExplainTiConfig::bert_like`).
         let cfg = if roberta {
@@ -135,9 +389,21 @@ impl ExplainTi {
             ExplainTiConfig::bert_like(2048, 32)
         };
         let mut model = ExplainTi::new(&dataset, cfg);
-        model.load_weights(&dir.join("weights.bin"))?;
-        for task in 0..model.tasks().len() {
-            model.refresh_store(task);
+        let weight_bytes = take(&mut verified, "weights.bin")?;
+        model.load_weight_bytes(&weight_bytes).map_err(|e| PersistError::Corrupt {
+            file: "weights.bin".to_string(),
+            detail: format!("{e}"),
+        })?;
+        // Chaos site: the GE/ANN store is rebuilt (not persisted); when a
+        // drill marks it unavailable, serve predictions with `global: []`
+        // instead of failing the whole load.
+        if explainti_faults::triggered("persist.load.ge") {
+            model.set_degraded(true);
+            explainti_obs::add_counter("persist.load.degraded", 1);
+        } else {
+            for task in 0..model.tasks().len() {
+                model.refresh_store(task);
+            }
         }
         Ok((model, dataset))
     }
@@ -168,6 +434,14 @@ mod tests {
     fn truncated_payload_is_rejected() {
         let bytes = encode_weights(&[1.0, 2.0]);
         assert!(decode_weights(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]
@@ -204,5 +478,36 @@ mod tests {
         std::fs::write(&path, encode_weights(&[0.0; 7])).unwrap();
         assert!(m.load_weights(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = Manifest {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            files: vec![ManifestFile {
+                name: "weights.bin".to_string(),
+                bytes: 1234,
+                fnv1a64: format!("{:016x}", fnv1a64(b"hello")),
+            }],
+        };
+        let text = serde_json::to_string(&m).unwrap();
+        let back: Manifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.format_version, m.format_version);
+        assert_eq!(back.files.len(), 1);
+        assert_eq!(back.files[0].name, "weights.bin");
+        assert_eq!(back.files[0].bytes, 1234);
+        assert_eq!(back.files[0].fnv1a64, m.files[0].fnv1a64);
+    }
+
+    #[test]
+    fn missing_manifest_is_a_torn_snapshot() {
+        let dir = std::env::temp_dir().join("explainti-no-manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::remove_file(dir.join(MANIFEST_NAME)).ok();
+        match ExplainTi::load_from_dir(&dir) {
+            Err(PersistError::TornSnapshot { .. }) => {}
+            Err(e) => panic!("expected TornSnapshot, got {e}"),
+            Ok(_) => panic!("expected TornSnapshot, got a loaded model"),
+        }
     }
 }

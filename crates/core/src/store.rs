@@ -76,6 +76,12 @@ impl EmbeddingStore {
         let _span = explainti_obs::span!("store.rebuild_index");
         let mut index = HnswIndex::new(Metric::Cosine, HnswConfig::default());
         for (i, emb) in self.embeddings.iter().enumerate() {
+            // Chaos site: abandon the rebuild partway, leaving an index
+            // that covers only a prefix of the stored embeddings (what a
+            // crash mid-rebuild would produce if the index were mmap'd).
+            if explainti_faults::triggered("store.rebuild.partial") {
+                break;
+            }
             if let Some(e) = emb {
                 index.add(i, e.as_slice());
             }

@@ -1,0 +1,126 @@
+//! Golden regression test pinning *explanation semantics* — LE window
+//! relevance (KL-derived) scores and GE top-K neighbour ids — for a
+//! fixed-seed tiny corpus, so kernel rewrites and refactors can't
+//! silently change what the model explains (PR 3's golden-JSON pattern,
+//! extended from wire bytes to explanation content).
+//!
+//! Floats are pinned via `f32::to_bits` hex, so the comparison is
+//! bitwise: the PR 3 kernels are byte-identical across thread counts by
+//! construction, and this test keeps them that way end-to-end.
+//!
+//! To re-bless after an *intentional* semantic change:
+//!
+//! ```text
+//! EXPLAINTI_BLESS=1 cargo test -p explainti-core --test golden_explanations
+//! git diff crates/core/tests/golden/explanations.json  # review!
+//! ```
+
+use explainti_core::{ExplainTi, ExplainTiConfig, TaskKind};
+use explainti_corpus::{generate_wiki, WikiConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// One probe sample's pinned explanation facts.
+#[derive(Serialize)]
+struct GoldenSample {
+    sample: usize,
+    label: usize,
+    /// `f32::to_bits` of every class probability, as hex.
+    prob_bits: Vec<String>,
+    /// LE: (window start, relevance bits) in ranked order.
+    local: Vec<(usize, String)>,
+    /// GE: (training-sample id, influence bits) in ranked order.
+    global: Vec<(usize, String)>,
+    /// SE: (neighbour node, attention bits) in ranked order.
+    structural: Vec<(usize, String)>,
+}
+
+#[derive(Serialize)]
+struct Golden {
+    corpus_seed: u64,
+    num_tables: usize,
+    samples: Vec<GoldenSample>,
+}
+
+fn bits(x: f32) -> String {
+    format!("{:08x}", x.to_bits())
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/explanations.json")
+}
+
+fn current() -> Golden {
+    const SEED: u64 = 4242;
+    const TABLES: usize = 16;
+    let d = generate_wiki(&WikiConfig { num_tables: TABLES, seed: SEED, ..Default::default() });
+    let mut model = ExplainTi::new(&d, ExplainTiConfig::bert_like(2048, 32));
+    for task in 0..model.tasks().len() {
+        model.refresh_store(task);
+    }
+    let task = model.task_index(TaskKind::Type).expect("type task registered");
+    let probes = &model.tasks()[task].data.train_idx;
+    let probes: Vec<usize> = probes.iter().copied().take(3).collect();
+    let mut samples = Vec::new();
+    for idx in probes {
+        let pred = model.predict(TaskKind::Type, idx);
+        samples.push(GoldenSample {
+            sample: idx,
+            label: pred.label,
+            prob_bits: pred.probs.iter().map(|&p| bits(p)).collect(),
+            local: pred.explanation.local.iter().map(|s| (s.start, bits(s.relevance))).collect(),
+            global: pred.explanation.global.iter().map(|g| (g.sample, bits(g.influence))).collect(),
+            structural: pred
+                .explanation
+                .structural
+                .iter()
+                .map(|n| (n.node, bits(n.attention)))
+                .collect(),
+        });
+    }
+    Golden { corpus_seed: SEED, num_tables: TABLES, samples }
+}
+
+#[test]
+fn explanations_match_golden() {
+    let got = serde_json::to_string_pretty(&current()).unwrap() + "\n";
+    let path = golden_path();
+    if std::env::var("EXPLAINTI_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with EXPLAINTI_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "explanation output drifted from {}; if the change is intentional, re-bless with \
+         EXPLAINTI_BLESS=1 and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_probes_have_all_three_views() {
+    // Guard against the golden silently pinning empty vectors (which
+    // would let a broken LE/GE/SE pass the bitwise comparison above).
+    let g = current();
+    assert_eq!(g.samples.len(), 3);
+    for s in &g.samples {
+        assert!(!s.prob_bits.is_empty(), "sample {}: no probabilities", s.sample);
+        assert!(!s.local.is_empty(), "sample {}: LE produced no windows", s.sample);
+        assert!(!s.global.is_empty(), "sample {}: GE produced no neighbours", s.sample);
+    }
+    // Isolated graph nodes legitimately report an empty structural view,
+    // but the probe set as a whole must exercise SE.
+    assert!(
+        g.samples.iter().any(|s| !s.structural.is_empty()),
+        "no probe sample produced a structural view"
+    );
+}

@@ -117,7 +117,14 @@ impl Job {
                 break;
             }
             ran += 1;
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(idx))) {
+            // Chaos site: injected task panic, recovered by the same
+            // catch_unwind path a real task panic takes.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                if explainti_faults::triggered("pool.task.panic") {
+                    panic!("injected failpoint panic: pool.task.panic");
+                }
+                f(idx)
+            })) {
                 let mut slot = self.panic.lock().unwrap();
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -216,8 +223,13 @@ impl ThreadPool {
             return;
         }
         if tasks == 1 || self.workers.is_empty() {
-            // Inline fast path: no erasure, panics propagate natively.
+            // Inline fast path: no erasure, panics propagate natively
+            // (including the injected `pool.task.panic` one, so the site
+            // behaves the same at every pool width).
             for i in 0..tasks {
+                if explainti_faults::triggered("pool.task.panic") {
+                    panic!("injected failpoint panic: pool.task.panic");
+                }
                 f(i);
             }
             return;

@@ -76,12 +76,27 @@ impl Default for ServeConfig {
     }
 }
 
+/// Hard cap on columns per `/v1/interpret` table request: a pathological
+/// 10k-column row must answer a clean 400, not exhaust the queue.
+const MAX_TABLE_COLUMNS: usize = 512;
+
+/// How many times a job may be attempted in total (1 initial + retries).
+/// A worker panic re-enqueues the batch's jobs once; a second panic
+/// answers a typed 500 instead of retrying forever.
+const MAX_ATTEMPTS: u32 = 2;
+
+/// Base backoff before a panicked batch is re-enqueued; doubles per
+/// attempt already made.
+const RETRY_BACKOFF_MS: u64 = 10;
+
 /// One queued column prediction.
 struct Job {
     encoded: explainti_tokenizer::Encoded,
     key: u64,
-    resp_tx: mpsc::Sender<Arc<PredictResponse>>,
+    resp_tx: mpsc::Sender<Result<Arc<PredictResponse>, ApiError>>,
     deadline: Instant,
+    /// Times this job has been handed to a worker (retry bookkeeping).
+    attempts: u32,
 }
 
 struct Shared {
@@ -126,15 +141,59 @@ fn worker_loop(shared: &Shared) {
             explainti_obs::registry().histogram("serve.batch.size").record(live.len() as u64);
         }
         let _span = explainti_obs::span!("serve.batch.predict");
+        // Chaos site: a slow batch (GC pause / noisy neighbour stand-in)
+        // to exercise the deadline path without a real stall.
+        if explainti_faults::triggered("serve.batch.slow") {
+            std::thread::sleep(Duration::from_millis(50));
+        }
         let encs: Vec<explainti_tokenizer::Encoded> =
             live.iter().map(|j| j.encoded.clone()).collect();
-        let preds = shared.model.predict_encoded_batch(&encs);
-        for (job, pred) in live.into_iter().zip(preds) {
-            let resp =
-                Arc::new(PredictResponse::from_prediction(&pred, &shared.labels, shared.top_k));
-            shared.cache.lock().unwrap().insert(job.key, Arc::clone(&resp));
-            // A closed receiver means the handler timed out; nothing to do.
-            let _ = job.resp_tx.send(resp);
+        // A panicking forward (injected via `serve.worker.panic` or real)
+        // must not kill the worker: recover, re-enqueue each job within
+        // its retry budget, and answer a typed 500 past it.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if explainti_faults::triggered("serve.worker.panic") {
+                panic!("injected failpoint panic: serve.worker.panic");
+            }
+            shared.model.predict_encoded_batch(&encs)
+        }));
+        match outcome {
+            Ok(preds) => {
+                for (job, pred) in live.into_iter().zip(preds) {
+                    let resp = Arc::new(PredictResponse::from_prediction(
+                        &pred,
+                        &shared.labels,
+                        shared.top_k,
+                    ));
+                    shared.cache.lock().unwrap().insert(job.key, Arc::clone(&resp));
+                    // A closed receiver means the handler timed out.
+                    let _ = job.resp_tx.send(Ok(resp));
+                }
+            }
+            Err(_) => {
+                explainti_obs::counter!("serve.worker.panics", 1);
+                for mut job in live {
+                    if job.attempts + 1 >= MAX_ATTEMPTS {
+                        explainti_obs::counter!("serve.jobs.retry_exhausted", 1);
+                        let _ = job.resp_tx.send(Err(ApiError::internal(
+                            "prediction worker panicked and the retry budget is exhausted",
+                        )));
+                        continue;
+                    }
+                    std::thread::sleep(Duration::from_millis(RETRY_BACKOFF_MS << job.attempts));
+                    job.attempts += 1;
+                    explainti_obs::counter!("serve.jobs.retried", 1);
+                    let tx = job.resp_tx.clone();
+                    if shared.queue.push(job).is_err() {
+                        // Queue full or closed mid-retry: fail loudly
+                        // rather than letting the handler hit 504.
+                        explainti_obs::counter!("serve.jobs.retry_dropped", 1);
+                        let _ = tx.send(Err(ApiError::internal(
+                            "prediction retry could not be re-enqueued",
+                        )));
+                    }
+                }
+            }
         }
     }
 }
@@ -147,7 +206,7 @@ fn submit_column(
     shared: &Shared,
     req: &PredictRequest,
     deadline: Instant,
-) -> Result<mpsc::Receiver<Arc<PredictResponse>>, ApiError> {
+) -> Result<mpsc::Receiver<Result<Arc<PredictResponse>, ApiError>>, ApiError> {
     if req.header.is_empty() && req.cells.is_empty() {
         return Err(ApiError::bad_request("column has neither header nor cells"));
     }
@@ -155,13 +214,20 @@ fn submit_column(
     let (tx, rx) = mpsc::channel();
     if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
         explainti_obs::counter!("serve.cache.hit", 1);
-        let _ = tx.send(Arc::clone(hit));
+        let _ = tx.send(Ok(Arc::clone(hit)));
         return Ok(rx);
     }
     explainti_obs::counter!("serve.cache.miss", 1);
+    // Chaos site: backpressure without actually filling the queue.
+    if explainti_faults::triggered("serve.queue.full") {
+        return Err(ApiError::new(
+            ErrorCode::QueueFull,
+            format!("request queue at capacity ({})", shared.queue.capacity()),
+        ));
+    }
     let cells: Vec<&str> = req.cells.iter().map(String::as_str).collect();
     let encoded = shared.model.encode_ad_hoc_column(&req.title, &req.header, &cells);
-    let job = Job { encoded, key, resp_tx: tx, deadline };
+    let job = Job { encoded, key, resp_tx: tx, deadline, attempts: 0 };
     match shared.queue.push(job) {
         Ok(()) => {
             explainti_obs::set_gauge("serve.queue.depth", shared.queue.len() as f64);
@@ -178,12 +244,12 @@ fn submit_column(
 }
 
 fn await_response(
-    rx: &mpsc::Receiver<Arc<PredictResponse>>,
+    rx: &mpsc::Receiver<Result<Arc<PredictResponse>, ApiError>>,
     deadline: Instant,
 ) -> Result<Arc<PredictResponse>, ApiError> {
     let remaining = deadline.saturating_duration_since(Instant::now());
     rx.recv_timeout(remaining)
-        .map_err(|_| ApiError::new(ErrorCode::DeadlineExceeded, "prediction missed its deadline"))
+        .map_err(|_| ApiError::new(ErrorCode::DeadlineExceeded, "prediction missed its deadline"))?
 }
 
 fn handle_interpret(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
@@ -205,6 +271,13 @@ fn handle_interpret(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
             .map_err(|e| ApiError::bad_request(format!("bad table request: {e}")))?;
         if req.columns.is_empty() {
             return Err(ApiError::bad_request("table has no columns"));
+        }
+        if req.columns.len() > MAX_TABLE_COLUMNS {
+            return Err(ApiError::bad_request(format!(
+                "table has {} columns; the per-request limit is {MAX_TABLE_COLUMNS} — \
+                 split the table across requests",
+                req.columns.len()
+            )));
         }
         // Enqueue every column before waiting on any, so one connection's
         // table still forms a micro-batch for the workers.
@@ -245,13 +318,24 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         ("POST", "/v1/interpret") => handle_interpret(shared, &request.body),
         ("GET", "/v1/healthz") => {
             let _span = explainti_obs::span!("serve.request.healthz");
-            Ok(serde_json::to_string(&json!({"status": "ok"})).unwrap_or_default())
+            let degraded = shared.model.is_degraded();
+            Ok(serde_json::to_string(&json!({"degraded": degraded, "status": "ok"}))
+                .unwrap_or_default())
         }
         ("GET", "/v1/metrics") => {
             let _span = explainti_obs::span!("serve.request.metrics");
             let mut summary = explainti_obs::summary();
             if let Value::Object(map) = &mut summary {
                 map.insert("schema_version".to_string(), json!(SCHEMA_VERSION));
+                map.insert("degraded".to_string(), json!(shared.model.is_degraded()));
+                // Failpoint trip counts (empty object when no chaos drill
+                // has run), so operators and the chaos-smoke CI job can
+                // scrape what actually fired.
+                let mut hits = std::collections::BTreeMap::new();
+                for (site, n) in explainti_faults::hit_counts() {
+                    hits.insert(site, json!(n));
+                }
+                map.insert("failpoints".to_string(), Value::Object(hits));
             }
             Ok(serde_json::to_string(&summary).unwrap_or_default())
         }
@@ -329,6 +413,12 @@ pub fn start(
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+
+    // Mirror every failpoint trip into the obs counters so chaos drills
+    // show up in `/v1/metrics` alongside ordinary serving telemetry.
+    explainti_faults::set_observer(|site| {
+        explainti_obs::add_counter(&format!("faults.hit.{site}"), 1);
+    });
 
     // `--threads` resizes the process-wide kernel pool; 0 leaves
     // whatever the process already configured (CLI / env / default).

@@ -1,0 +1,202 @@
+//! End-to-end chaos drills against a live server: worker panics within
+//! and past the retry budget, injected queue backpressure, slow batches
+//! against tight deadlines — the server must stay up through all of it,
+//! and `/v1/metrics` must account for every trip and retry.
+//!
+//! The failpoint registry is process-global, so every test serialises on
+//! one mutex and clears the registry before and after its drill.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use explainti_core::{ExplainTi, ExplainTiConfig};
+use explainti_faults as faults;
+use explainti_serve::{start, ServeConfig};
+use serde_json::Value;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tiny_model() -> (Arc<ExplainTi>, Vec<String>) {
+    let d = explainti_corpus::generate_wiki(&explainti_corpus::WikiConfig {
+        num_tables: 16,
+        seed: 4242,
+        ..Default::default()
+    });
+    let mut m = ExplainTi::new(&d, ExplainTiConfig::bert_like(2048, 32));
+    for t in 0..m.tasks().len() {
+        m.refresh_store(t);
+    }
+    (Arc::new(m), d.collection.type_labels.clone())
+}
+
+fn request(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let msg = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Distinct request bodies so no drill hits another drill's cache entry.
+fn column_body(tag: &str) -> String {
+    format!(r#"{{"title":"chaos {tag}","header":"city {tag}","cells":["london","paris"]}}"#)
+}
+
+#[test]
+fn worker_panic_within_retry_budget_still_answers() {
+    let _g = lock();
+    faults::clear_all();
+    let (model, labels) = tiny_model();
+    let cfg = ServeConfig { workers: 1, deadline_ms: 30_000, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let addr = handle.addr();
+
+    // Panic exactly once: the first batch dies, the re-enqueued job runs.
+    faults::configure("serve.worker.panic", faults::Policy::Times(1));
+    let (status, body) = request(&addr, "POST", "/v1/interpret", &column_body("retry"));
+    faults::clear_all();
+    assert_eq!(status, 200, "a single worker panic must be retried away: {body}");
+    assert!(faults::hit_count("serve.worker.panic") >= 1, "the failpoint never tripped");
+
+    // The retry and the trip both show up in /v1/metrics.
+    let (status, metrics) = request(&addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let metrics: Value = serde_json::from_str(&metrics).unwrap();
+    let retried = metrics
+        .get("counters")
+        .and_then(|c| c.get("serve.jobs.retried"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(retried >= 1, "retry count missing from metrics: {metrics:?}");
+    let trips = metrics
+        .get("failpoints")
+        .and_then(|f| f.get("serve.worker.panic"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(trips >= 1, "failpoint hits missing from metrics: {metrics:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn worker_panic_past_retry_budget_is_a_typed_500() {
+    let _g = lock();
+    faults::clear_all();
+    let (model, labels) = tiny_model();
+    let cfg = ServeConfig { workers: 1, deadline_ms: 30_000, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let addr = handle.addr();
+
+    faults::configure("serve.worker.panic", faults::Policy::Always);
+    let (status, body) = request(&addr, "POST", "/v1/interpret", &column_body("exhaust"));
+    faults::clear_all();
+    assert_eq!(status, 500, "exhausted retries must answer a typed 500: {body}");
+    assert!(body.contains("Internal"), "error must carry the typed code: {body}");
+
+    // The server is still alive and serving — both health and real work.
+    let (status, health) = request(&addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("ok"), "healthz after panics: {health}");
+    let (status, body) = request(&addr, "POST", "/v1/interpret", &column_body("after"));
+    assert_eq!(status, 200, "server must recover once the fault clears: {body}");
+
+    let (_, metrics) = request(&addr, "GET", "/v1/metrics", "");
+    let metrics: Value = serde_json::from_str(&metrics).unwrap();
+    let exhausted = metrics
+        .get("counters")
+        .and_then(|c| c.get("serve.jobs.retry_exhausted"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(exhausted >= 1, "exhausted-retry count missing: {metrics:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn injected_queue_full_returns_503_backpressure() {
+    let _g = lock();
+    faults::clear_all();
+    let (model, labels) = tiny_model();
+    let cfg = ServeConfig { workers: 1, deadline_ms: 30_000, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let addr = handle.addr();
+
+    faults::configure("serve.queue.full", faults::Policy::Always);
+    let (status, body) = request(&addr, "POST", "/v1/interpret", &column_body("full"));
+    faults::clear_all();
+    assert_eq!(status, 503, "injected backpressure must answer 503: {body}");
+    assert!(body.contains("QueueFull"), "typed code expected: {body}");
+
+    let (status, _) = request(&addr, "POST", "/v1/interpret", &column_body("full"));
+    assert_eq!(status, 200, "clearing the fault restores service");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn slow_batch_against_tight_deadline_times_out_cleanly() {
+    let _g = lock();
+    faults::clear_all();
+    let (model, labels) = tiny_model();
+    // Deadline far below the injected 50 ms batch stall.
+    let cfg = ServeConfig { workers: 1, deadline_ms: 20, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let addr = handle.addr();
+
+    faults::configure("serve.batch.slow", faults::Policy::Always);
+    let (status, body) = request(&addr, "POST", "/v1/interpret", &column_body("slow"));
+    faults::clear_all();
+    assert_eq!(status, 504, "a stalled batch must surface as a deadline miss: {body}");
+    assert!(body.contains("DeadlineExceeded"), "typed code expected: {body}");
+
+    let (status, health) = request(&addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"degraded\":false"), "healthz carries the flag: {health}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn degraded_model_serves_empty_global_and_reports_it() {
+    let _g = lock();
+    faults::clear_all();
+    let (model, labels) = tiny_model();
+    model.set_degraded(true);
+    let mut handle = start(Arc::clone(&model), labels, ServeConfig::default()).expect("start");
+    let addr = handle.addr();
+
+    let (status, health) = request(&addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200, "degraded is not down");
+    assert!(health.contains("\"degraded\":true"), "healthz must flag degraded: {health}");
+
+    let (_, metrics) = request(&addr, "GET", "/v1/metrics", "");
+    let metrics: Value = serde_json::from_str(&metrics).unwrap();
+    assert_eq!(metrics.get("degraded").and_then(Value::as_bool), Some(true));
+
+    // Predictions still flow (this model's store is intact, so this
+    // checks the serving path, not GE emptiness — core's
+    // `ge_store_failure_degrades_instead_of_failing` covers that).
+    let (status, _) = request(&addr, "POST", "/v1/interpret", &column_body("degraded"));
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    handle.join();
+}

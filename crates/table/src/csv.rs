@@ -186,4 +186,48 @@ mod tests {
         assert_eq!(t.columns[2].cells, vec!["", "3"]);
         assert_eq!(t.columns[3].header, "");
     }
+
+    // ---- Hostile-input robustness: error or parse, never panic -------
+
+    #[test]
+    fn embedded_nuls_and_control_chars_parse() {
+        let t = table_from_csv("x", "na\0me,b\n a\0b,\u{1}\n").unwrap();
+        assert_eq!(t.columns[0].header, "na\0me");
+        assert_eq!(t.columns[0].cells, vec![" a\0b"]);
+    }
+
+    #[test]
+    fn replacement_chars_from_lossy_utf8_parse() {
+        // `table_from_csv_file` goes through `read_to_string`, which
+        // rejects invalid UTF-8 upstream; text that arrives here can
+        // still carry U+FFFD from lossy conversions.
+        let text = String::from_utf8_lossy(b"a,\xff\xfe\nx,y\n").into_owned();
+        let t = table_from_csv("x", &text).unwrap();
+        assert_eq!(t.num_cols(), 2);
+        assert!(t.columns[1].header.contains('\u{fffd}'));
+    }
+
+    #[test]
+    fn ten_thousand_column_row_parses_without_panic() {
+        let header: Vec<String> = (0..10_000).map(|i| format!("c{i}")).collect();
+        let cells = vec!["v"; 10_000];
+        let text = format!("{}\n{}\n", header.join(","), cells.join(","));
+        let t = table_from_csv("wide", &text).unwrap();
+        assert_eq!(t.num_cols(), 10_000);
+        assert_eq!(t.columns[9_999].header, "c9999");
+    }
+
+    #[test]
+    fn whitespace_only_and_quote_only_inputs_error_cleanly() {
+        assert!(matches!(parse_csv("\r\n\r\n"), Err(CsvError::Empty)));
+        assert!(matches!(parse_csv("\""), Err(CsvError::UnterminatedQuote { .. })));
+        assert!(matches!(parse_csv("\"\n\"\n\""), Err(CsvError::UnterminatedQuote { .. })));
+    }
+
+    #[test]
+    fn header_only_table_builds_empty_columns() {
+        let t = table_from_csv("x", "a,b,c\n").unwrap();
+        assert_eq!(t.num_cols(), 3);
+        assert!(t.columns.iter().all(|c| c.cells.is_empty()));
+    }
 }

@@ -406,4 +406,55 @@ mod tests {
         // Characters and specials always enter; word additions stop at cap.
         assert!(t.vocab_size() <= 64 + 48);
     }
+
+    // ---- Hostile-input robustness: degrade, never panic ---------------
+
+    #[test]
+    fn nuls_and_control_chars_normalize_without_panic() {
+        // NUL and control characters are not alphanumeric, so they act
+        // as separators; nothing may panic or leak into a token.
+        assert_eq!(normalize("a\0b"), vec!["a", "b"]);
+        assert_eq!(normalize("\0\u{1}\u{7f}"), Vec::<String>::new());
+        let t = toy();
+        let enc = encode_column(&t, "ti\0tle", "hea\0der", &["ce\0ll", "\0"], 32);
+        assert!(enc.len <= 32);
+        assert!(enc.ids.iter().all(|&id| id < t.vocab_size()));
+    }
+
+    #[test]
+    fn replacement_chars_and_wide_unicode_tokenize() {
+        let t = toy();
+        // U+FFFD (lossy-UTF-8 output), CJK, emoji, RTL text: unknown
+        // characters fall back to subword/char segmentation, never panic.
+        for text in ["\u{fffd}\u{fffd}", "東京タワー", "🦀🦀🦀", "مرحبا", "a\u{0301}"]
+        {
+            let ids = t.tokenize(text);
+            assert!(ids.iter().all(|&id| id < t.vocab_size()), "{text}");
+        }
+    }
+
+    #[test]
+    fn pathologically_wide_input_is_truncated_not_panicking() {
+        let t = toy();
+        let cells: Vec<String> = (0..10_000).map(|i| format!("cell{i}")).collect();
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        let enc = encode_column(&t, "wide", "header", &refs, 64);
+        assert_eq!(enc.ids.len(), 64, "sequence budget must bound the encoding");
+        assert!(enc.len <= 64);
+        // A single absurdly long word also stays within budget.
+        let long = "x".repeat(100_000);
+        let enc = encode_column(&t, &long, &long, &[&long], 32);
+        assert_eq!(enc.ids.len(), 32);
+    }
+
+    #[test]
+    fn empty_inputs_produce_frame_only_encodings() {
+        let t = toy();
+        assert_eq!(normalize(""), Vec::<String>::new());
+        assert!(t.tokenize("").is_empty());
+        let enc = encode_column(&t, "", "", &[], 16);
+        // [CLS] [TITLE] [HEADER] [CELL] [SEP] frame, padded out.
+        assert!(enc.len >= 5);
+        assert_eq!(enc.ids.len(), 16);
+    }
 }

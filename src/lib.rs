@@ -46,6 +46,7 @@ pub use explainti_baselines as baselines;
 pub use explainti_core as core;
 pub use explainti_corpus as corpus;
 pub use explainti_encoder as encoder;
+pub use explainti_faults as faults;
 pub use explainti_metrics as metrics;
 pub use explainti_nn as nn;
 pub use explainti_pool as pool;

@@ -44,11 +44,14 @@ use std::sync::Arc;
 // ---- Command specs ----------------------------------------------------
 
 fn with_common(spec: CommandSpec) -> CommandSpec {
-    spec.value("trace-out", "FILE", "stream telemetry span events to FILE as JSONL").value(
-        "threads",
-        "N",
-        "kernel compute threads (default: EXPLAINTI_THREADS or all cores)",
-    )
+    spec.value("trace-out", "FILE", "stream telemetry span events to FILE as JSONL")
+        .value("threads", "N", "kernel compute threads (default: EXPLAINTI_THREADS or all cores)")
+        .value(
+            "failpoints",
+            "SPEC",
+            "activate fault-injection sites, e.g. 'serve.worker.panic=times(1)' \
+             (also: EXPLAINTI_FAILPOINTS env)",
+        )
 }
 
 fn all_specs() -> Vec<CommandSpec> {
@@ -346,6 +349,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    // Fault injection: `--failpoints` layers on top of whatever
+    // `EXPLAINTI_FAILPOINTS` already configured, and every trip is
+    // mirrored into the obs counters for the final telemetry report.
+    if let Some(spec) = args.get("failpoints") {
+        match explainti::faults::configure_from_spec(spec) {
+            Ok(n) if n > 0 => eprintln!("fault injection: {n} failpoint site(s) armed"),
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error: --failpoints: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    explainti::faults::set_observer(|site| {
+        explainti_obs::add_counter(&format!("faults.hit.{site}"), 1);
+    });
     let code = match cmd.as_str() {
         "generate" => cmd_generate(&args),
         "train" => cmd_train(&args),
