@@ -1,0 +1,411 @@
+//! A minimal, lossless Rust token scanner with line/column tracking.
+//!
+//! This is not a full Rust lexer — it only has to be exact about the
+//! four things every check in this crate depends on:
+//!
+//! 1. **String literals** (plain, raw, byte, C) so failpoint sites and
+//!    metric names are extracted from real code, never from comments.
+//! 2. **Comments** (line and nested block) so `// SAFETY:` audits and
+//!    suppression scanning see them, and so nothing inside them is ever
+//!    mistaken for code.
+//! 3. **Identifiers and punctuation** with 1-based line/column, so
+//!    diagnostics point at the offending token exactly.
+//! 4. **Lifetimes vs char literals**, because `'a'` and `'a` diverge
+//!    one character in, and a mis-lex would silently corrupt the rest
+//!    of the file.
+//!
+//! Everything else (number suffixes, operator gluing) is deliberately
+//! loose: checks operate on single-character punctuation sequences.
+
+/// What a token is, as far as the checks care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `HashMap`, …).
+    Ident,
+    /// String literal of any flavour; `text` holds the *contents*
+    /// (delimiters and raw-string hashes stripped, escapes untouched).
+    Str,
+    /// Character literal, contents included verbatim.
+    Char,
+    /// Lifetime (`'a`, `'static`), without the leading quote.
+    Lifetime,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// A single punctuation character (`.`, `(`, `!`, …).
+    Punct,
+    /// `//…` comment (doc or not), without the trailing newline.
+    LineComment,
+    /// `/* … */` comment, possibly spanning lines, delimiters included.
+    BlockComment,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True if this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { chars: src.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Tokenizes `src`, keeping comments. Unterminated constructs (string,
+/// block comment) consume to end of input rather than erroring: the
+/// analyzer lints real, compiling code, and a best-effort tail is more
+/// useful than a hard failure on a fixture.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => {
+                        let mut text = String::from("/");
+                        while let Some(&c2) = cur.chars.peek() {
+                            if c2 == '\n' {
+                                break;
+                            }
+                            text.push(c2);
+                            cur.bump();
+                        }
+                        out.push(Tok { kind: TokKind::LineComment, text, line, col });
+                    }
+                    Some('*') => {
+                        cur.bump();
+                        let mut text = String::from("/*");
+                        let mut depth = 1usize;
+                        let mut prev = '\0';
+                        while depth > 0 {
+                            let Some(c2) = cur.bump() else { break };
+                            text.push(c2);
+                            if prev == '/' && c2 == '*' {
+                                depth += 1;
+                                prev = '\0';
+                            } else if prev == '*' && c2 == '/' {
+                                depth -= 1;
+                                prev = '\0';
+                            } else {
+                                prev = c2;
+                            }
+                        }
+                        out.push(Tok { kind: TokKind::BlockComment, text, line, col });
+                    }
+                    _ => out.push(Tok { kind: TokKind::Punct, text: "/".into(), line, col }),
+                }
+            }
+            '"' => {
+                cur.bump();
+                out.push(Tok { kind: TokKind::Str, text: scan_string_body(&mut cur), line, col });
+            }
+            '\'' => {
+                cur.bump();
+                out.push(scan_quote(&mut cur, line, col));
+            }
+            'r' | 'b' | 'c' => {
+                // Maybe a raw/byte/C string prefix; otherwise an ident.
+                if let Some(tok) = scan_prefixed_or_ident(&mut cur, line, col) {
+                    out.push(tok);
+                }
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                out.push(Tok { kind: TokKind::Ident, text: scan_ident(&mut cur), line, col });
+            }
+            c if c.is_ascii_digit() => {
+                out.push(Tok { kind: TokKind::Num, text: scan_number(&mut cur), line, col });
+            }
+            c => {
+                cur.bump();
+                out.push(Tok { kind: TokKind::Punct, text: c.to_string(), line, col });
+            }
+        }
+    }
+    out
+}
+
+fn scan_ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '_' || c.is_alphanumeric() {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn scan_number(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    let mut prev = '\0';
+    while let Some(c) = cur.peek() {
+        let take = c.is_ascii_alphanumeric()
+            || c == '_'
+            // `1.5` continues the number; `0..n` does not (range), and
+            // `x.0.1` tuple chains arrive here only digit-first.
+            || (c == '.' && prev != '.' && {
+                let mut clone = cur.chars.clone();
+                clone.next();
+                clone.peek().is_some_and(|n| n.is_ascii_digit())
+            });
+        if !take {
+            break;
+        }
+        s.push(c);
+        prev = c;
+        cur.bump();
+    }
+    s
+}
+
+/// After a consumed `'`: lifetime or char literal.
+fn scan_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    // `'\…'` is always a char literal.
+    if cur.peek() == Some('\\') {
+        let mut text = String::new();
+        text.push(cur.bump().unwrap_or('\\'));
+        if let Some(esc) = cur.bump() {
+            text.push(esc);
+        }
+        // Consume to the closing quote (covers \u{…}).
+        while let Some(c) = cur.bump() {
+            if c == '\'' {
+                break;
+            }
+            text.push(c);
+        }
+        return Tok { kind: TokKind::Char, text, line, col };
+    }
+    // `'a` vs `'a'`: a lifetime is ident-like with no closing quote.
+    let first = cur.peek();
+    match first {
+        Some(c) if c == '_' || c.is_alphanumeric() => {
+            let mut clone = cur.chars.clone();
+            clone.next();
+            if clone.peek() == Some(&'\'') {
+                // 'x' — char literal.
+                let ch = cur.bump().unwrap_or(c);
+                cur.bump(); // closing quote
+                Tok { kind: TokKind::Char, text: ch.to_string(), line, col }
+            } else {
+                let name = scan_ident(cur);
+                Tok { kind: TokKind::Lifetime, text: name, line, col }
+            }
+        }
+        Some(c) => {
+            // Punctuation char literal like '}' or '"'.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            Tok { kind: TokKind::Char, text: c.to_string(), line, col }
+        }
+        None => Tok { kind: TokKind::Punct, text: "'".into(), line, col },
+    }
+}
+
+/// After peeking `r`, `b`, or `c`: raw/byte/C string or plain ident.
+fn scan_prefixed_or_ident(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    // Look ahead without consuming: prefix chars then `"` or `#…"`.
+    let mut clone = cur.chars.clone();
+    let mut prefix = String::new();
+    for _ in 0..2 {
+        match clone.peek() {
+            Some(&p @ ('r' | 'b' | 'c')) if prefix.is_empty() || (prefix == "b" && p == 'r') => {
+                prefix.push(p);
+                clone.next();
+            }
+            _ => break,
+        }
+    }
+    let mut hashes = 0usize;
+    while clone.peek() == Some(&'#') {
+        hashes += 1;
+        clone.next();
+    }
+    let is_string =
+        clone.peek() == Some(&'"') && (hashes == 0 || prefix.ends_with('r') || prefix == "r");
+    let raw = prefix.contains('r');
+    if !is_string || (!raw && hashes > 0) {
+        // `r#ident` raw identifiers land here too: consume `r#` then the
+        // ident. Plain idents starting with r/b/c also land here.
+        if hashes > 0 && prefix == "r" {
+            cur.bump(); // r
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return Some(Tok { kind: TokKind::Ident, text: scan_ident(cur), line, col });
+        }
+        return Some(Tok { kind: TokKind::Ident, text: scan_ident(cur), line, col });
+    }
+    // It is a string: consume prefix, hashes, opening quote.
+    for _ in 0..prefix.len() {
+        cur.bump();
+    }
+    for _ in 0..hashes {
+        cur.bump();
+    }
+    cur.bump(); // "
+    let text = if raw { scan_raw_string_body(cur, hashes) } else { scan_string_body(cur) };
+    Some(Tok { kind: TokKind::Str, text, line, col })
+}
+
+/// Contents of a non-raw string whose opening `"` is consumed.
+fn scan_string_body(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                s.push(c);
+                if let Some(esc) = cur.bump() {
+                    s.push(esc);
+                }
+            }
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+/// Contents of a raw string opened with `hashes` hash marks.
+fn scan_raw_string_body(cur: &mut Cursor, hashes: usize) -> String {
+    let mut s = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // Candidate close: need `hashes` following '#'.
+            let mut clone = cur.chars.clone();
+            for _ in 0..hashes {
+                if clone.next() != Some('#') {
+                    s.push('"');
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        s.push(c);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("fn main() {\n    x.y\n}");
+        assert!(toks[0].is_ident("fn"));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let x = toks.iter().find(|t| t.is_ident("x")).expect("x token");
+        assert_eq!((x.line, x.col), (2, 5));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw() {
+        let toks = kinds(r#"let a = "he\"llo"; let b = r"raw"; "#);
+        assert!(toks.contains(&(TokKind::Str, "he\\\"llo".into())));
+        assert!(toks.contains(&(TokKind::Str, "raw".into())));
+        let toks = kinds("let c = r#\"ra\"w\"#;");
+        assert!(toks.contains(&(TokKind::Str, "ra\"w".into())));
+    }
+
+    #[test]
+    fn comments_do_not_leak_strings() {
+        let toks = kinds("// triggered(\"fake.site\")\nlet x = 1;");
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(matches!(toks[0].0, TokKind::LineComment));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ real");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "real".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let d = '\\n'; let e = '}'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).cloned().collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).cloned().collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let f = 1.5e3; let t = x.0; }");
+        assert!(toks.contains(&(TokKind::Num, "0".into())));
+        assert!(toks.contains(&(TokKind::Num, "10".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5e3".into())));
+    }
+
+    #[test]
+    fn byte_and_format_strings() {
+        let toks = kinds(r#"b"bytes" format!("persist.{x}")"#);
+        assert!(toks.contains(&(TokKind::Str, "bytes".into())));
+        assert!(toks.contains(&(TokKind::Str, "persist.{x}".into())));
+    }
+}

@@ -1,0 +1,10 @@
+//! `analyzer` — the workspace invariant lint pass as a standalone
+//! binary. All logic lives in [`analyzer::cli`], which the root CLI's
+//! `analyze` subcommand shares.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    analyzer::cli::main_with_args(&argv)
+}

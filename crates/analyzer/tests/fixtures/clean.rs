@@ -1,0 +1,6 @@
+// A file with none of the lint violations, even with every scope on.
+
+/// Adds two numbers.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

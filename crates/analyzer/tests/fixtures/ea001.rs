@@ -1,0 +1,14 @@
+// EA001 fixture: every line marked VIOLATION must be flagged.
+
+pub fn violations() {
+    let t0 = std::time::Instant::now(); // VIOLATION: wall-clock read
+    let _wall = std::time::SystemTime::now(); // VIOLATION: wall-clock type
+    let mut rng = rand::rngs::SmallRng::from_entropy(); // VIOLATION: entropy
+    let map: HashMap<String, usize> = HashMap::new();
+    let it = map.iter(); // VIOLATION: hash-order iteration
+    let set: HashSet<usize> = HashSet::new();
+    for x in set { // VIOLATION: hash-order for loop
+        drop(x);
+    }
+    drop((t0, rng, it));
+}

@@ -1,0 +1,15 @@
+// EA002 fixture: the two undocumented sites must be flagged; the two
+// documented ones appear only in the inventory.
+
+// SAFETY: documented — nothing is dereferenced.
+unsafe fn documented() {}
+
+unsafe fn undocumented() {} // VIOLATION
+
+pub fn blocks() {
+    let x = 1u8;
+    let p = &x as *const u8;
+    // SAFETY: p points at a live local.
+    let _ok = unsafe { *p };
+    let _bad = unsafe { *p }; // VIOLATION
+}

@@ -1,0 +1,11 @@
+// EA003 fixture: one catalogued site, one uncatalogued site; the
+// catalogue also advertises a site this file never references.
+
+pub fn drill() {
+    if explainti_faults::triggered("fixture.catalogued") {
+        return;
+    }
+    if explainti_faults::triggered("fixture.uncatalogued") { // VIOLATION
+        return;
+    }
+}

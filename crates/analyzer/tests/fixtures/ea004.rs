@@ -1,0 +1,9 @@
+// EA004 fixture: malformed name, undeclared name, kind mismatch; the
+// registry also carries one stale row.
+
+pub fn emit() {
+    explainti_obs::counter!("Bad-Name", 1); // VIOLATION x2: malformed and undeclared
+    explainti_obs::counter!("fixture.undeclared", 1); // VIOLATION: not in registry
+    explainti_obs::set_gauge("fixture.mismatch", 1.0); // VIOLATION: registered as counter
+    explainti_obs::counter!("fixture.declared", 1);
+}

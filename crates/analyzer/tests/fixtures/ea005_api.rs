@@ -1,0 +1,8 @@
+// EA005 fixture: a minimal DTO file whose shape is fingerprinted.
+
+pub const SCHEMA_VERSION: u32 = 1;
+
+pub struct Wire {
+    pub a: u32,
+    pub b: u32,
+}

@@ -1,0 +1,12 @@
+// EA006 fixture: every panicking shortcut must be flagged.
+
+pub fn handler(input: Option<u32>, parts: Vec<u32>) -> u32 {
+    let v = input.unwrap(); // VIOLATION
+    let w = std::env::var("X").expect("missing"); // VIOLATION
+    if parts.is_empty() {
+        panic!("empty"); // VIOLATION
+    }
+    let first = parts[0]; // VIOLATION
+    let _ = w;
+    first + v
+}

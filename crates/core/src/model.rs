@@ -630,7 +630,9 @@ impl ExplainTi {
         // Merge duplicate neighbours (with-replacement sampling) by
         // summing attention mass.
         let as_values = g.value(as_node).as_slice().to_vec();
-        let mut merged: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+        // BTreeMap, not HashMap: with a HashMap, ties on attention would
+        // surface in hash order and the SE ranking would differ run to run.
+        let mut merged: std::collections::BTreeMap<usize, f32> = std::collections::BTreeMap::new();
         for (&id, &a) in ids.iter().zip(&as_values) {
             *merged.entry(id).or_insert(0.0) += a;
         }
@@ -643,7 +645,10 @@ impl ExplainTi {
             })
             .collect();
         structural.sort_by(|a, b| {
-            b.attention.partial_cmp(&a.attention).unwrap_or(std::cmp::Ordering::Equal)
+            b.attention
+                .partial_cmp(&a.attention)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.node.cmp(&b.node))
         });
         (logits, structural)
     }

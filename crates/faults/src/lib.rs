@@ -210,6 +210,20 @@ pub fn triggered(site: &str) -> bool {
     true
 }
 
+/// Checks the named site and panics when it trips.
+///
+/// For sites whose contracted effect *is* a panic (worker-recovery
+/// drills like `serve.worker.panic` / `pool.task.panic`): keeping the
+/// `panic!` here means panic-free production paths stay free of panic
+/// machinery — the only way those paths can panic is through an armed
+/// failpoint, which the analyzer's EA003 check keeps catalogued.
+#[inline]
+pub fn panic_if_triggered(site: &str) {
+    if triggered(site) {
+        panic!("injected failpoint panic: {site}");
+    }
+}
+
 /// Activates (or replaces) a site with `policy`.
 pub fn configure(site: &str, policy: Policy) {
     ensure_init();

@@ -68,7 +68,11 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// output buffer, and the pool's scope blocks until every task is done,
 /// so no aliasing or dangling access is possible.
 struct SendMut(*mut f32);
+// SAFETY: every task writes only its own disjoint row range and the
+// pool scope joins before the buffer is touched again (contract above).
 unsafe impl Send for SendMut {}
+// SAFETY: shared access is read-only pointer arithmetic; writes through
+// the derived slices never overlap across tasks (contract above).
 unsafe impl Sync for SendMut {}
 
 impl SendMut {

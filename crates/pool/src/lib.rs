@@ -81,6 +81,8 @@ struct RawTask(*const (dyn Fn(usize) + Sync));
 // SAFETY: the pointee is `Sync` (checked at the `scope` call site) and
 // outlives the job (the scope blocks until the job fully drains).
 unsafe impl Send for RawTask {}
+// SAFETY: same contract as `Send` above — the erased closure is `Sync`,
+// so concurrent `&RawTask` dereferences from multiple workers are sound.
 unsafe impl Sync for RawTask {}
 
 struct Job {

@@ -136,6 +136,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 

@@ -28,16 +28,17 @@ pub struct Request {
 
 fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, ApiError> {
     let mut line = Vec::new();
-    let mut byte = [0u8; 1];
+    let mut buf = [0u8; 1];
     loop {
-        match reader.read_exact(&mut byte) {
+        match reader.read_exact(&mut buf) {
             Ok(()) => {}
             Err(_) => return Err(ApiError::bad_request("connection closed mid-request")),
         }
-        if byte[0] == b'\n' {
+        let [byte] = buf;
+        if byte == b'\n' {
             break;
         }
-        line.push(byte[0]);
+        line.push(byte);
         if line.len() > MAX_LINE_BYTES {
             return Err(ApiError::new(ErrorCode::PayloadTooLarge, "header line too long"));
         }

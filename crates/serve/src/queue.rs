@@ -7,7 +7,7 @@
 //! 503) instead of buffering unboundedly.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Why a [`BatchQueue::push`] was refused.
@@ -42,6 +42,14 @@ impl<T> BatchQueue<T> {
         }
     }
 
+    /// Poison-recovering lock: every critical section below leaves
+    /// `Inner` consistent even if the holder panics (plain field
+    /// reads/writes, no multi-step invariants), so a poisoned mutex is
+    /// safe to re-enter — and the request path must not panic (EA006).
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Capacity the queue was built with.
     pub fn capacity(&self) -> usize {
         self.cap
@@ -49,7 +57,7 @@ impl<T> BatchQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -60,7 +68,7 @@ impl<T> BatchQueue<T> {
     /// Enqueues one item, waking a waiting consumer. Fails fast (no
     /// blocking) when the queue is full or closed.
     pub fn push(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -79,7 +87,7 @@ impl<T> BatchQueue<T> {
     /// signal to exit.
     pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<T>> {
         let max_batch = max_batch.max(1);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         loop {
             if !inner.items.is_empty() {
                 let n = inner.items.len().min(max_batch);
@@ -88,7 +96,7 @@ impl<T> BatchQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).unwrap();
+            inner = self.available.wait(inner).unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
@@ -96,7 +104,7 @@ impl<T> BatchQueue<T> {
     /// an empty batch so the consumer can re-check external state.
     pub fn pop_batch_timeout(&self, max_batch: usize, timeout: Duration) -> Option<Vec<T>> {
         let max_batch = max_batch.max(1);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         loop {
             if !inner.items.is_empty() {
                 let n = inner.items.len().min(max_batch);
@@ -105,7 +113,10 @@ impl<T> BatchQueue<T> {
             if inner.closed {
                 return None;
             }
-            let (guard, wait) = self.available.wait_timeout(inner, timeout).unwrap();
+            let (guard, wait) = self
+                .available
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             inner = guard;
             if wait.timed_out() {
                 if !inner.items.is_empty() {
@@ -120,12 +131,13 @@ impl<T> BatchQueue<T> {
     /// Closes the queue: pushes fail from now on, and consumers drain
     /// what remains before [`Self::pop_batch`] returns `None`.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.lock().closed = true;
         self.available.notify_all();
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use std::sync::Arc;

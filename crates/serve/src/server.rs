@@ -113,6 +113,13 @@ struct Shared {
     config: ConfigResponse,
 }
 
+/// Poison-recovering cache lock: `LruCache` operations leave it
+/// consistent even if a holder panics mid-call, and a handler must not
+/// panic on a poisoned mutex (EA006) — recover the guard instead.
+fn lock_cache(shared: &Shared) -> std::sync::MutexGuard<'_, LruCache<u64, Arc<PredictResponse>>> {
+    shared.cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Hash of the request content a cached response is keyed by.
 fn cache_key(title: &str, header: &str, cells: &[String]) -> u64 {
     let mut h = DefaultHasher::new();
@@ -152,9 +159,7 @@ fn worker_loop(shared: &Shared) {
         // must not kill the worker: recover, re-enqueue each job within
         // its retry budget, and answer a typed 500 past it.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if explainti_faults::triggered("serve.worker.panic") {
-                panic!("injected failpoint panic: serve.worker.panic");
-            }
+            explainti_faults::panic_if_triggered("serve.worker.panic");
             shared.model.predict_encoded_batch(&encs)
         }));
         match outcome {
@@ -165,7 +170,7 @@ fn worker_loop(shared: &Shared) {
                         &shared.labels,
                         shared.top_k,
                     ));
-                    shared.cache.lock().unwrap().insert(job.key, Arc::clone(&resp));
+                    lock_cache(shared).insert(job.key, Arc::clone(&resp));
                     // A closed receiver means the handler timed out.
                     let _ = job.resp_tx.send(Ok(resp));
                 }
@@ -212,7 +217,7 @@ fn submit_column(
     }
     let key = cache_key(&req.title, &req.header, &req.cells);
     let (tx, rx) = mpsc::channel();
-    if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
+    if let Some(hit) = lock_cache(shared).get(&key) {
         explainti_obs::counter!("serve.cache.hit", 1);
         let _ = tx.send(Ok(Arc::clone(hit)));
         return Ok(rx);
@@ -467,14 +472,12 @@ pub fn start(
             std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared))
-                .expect("spawn worker")
         })
-        .collect();
+        .collect::<io::Result<_>>()?;
 
     let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
-        .name("serve-accept".to_string())
-        .spawn(move || {
+    let accept_thread =
+        std::thread::Builder::new().name("serve-accept".to_string()).spawn(move || {
             accept_loop(&listener, &accept_shared);
             // Stopped accepting; wait out in-flight connections, then let
             // the workers drain what is already queued and exit.
@@ -485,8 +488,7 @@ pub fn start(
             for w in workers {
                 let _ = w.join();
             }
-        })
-        .expect("spawn accept loop");
+        })?;
 
     Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
 }

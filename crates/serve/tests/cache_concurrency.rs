@@ -12,6 +12,10 @@
 //! * **counter consistency**: hits + misses == lookups performed, and
 //!   inserts == evictions + live entries for disjoint key sets.
 
+// Integration tests may panic freely; the crate's unwrap/expect
+// lints target the request path (EA006), not test assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use explainti_serve::cache::LruCache;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};

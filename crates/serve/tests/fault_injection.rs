@@ -6,6 +6,10 @@
 //! The failpoint registry is process-global, so every test serialises on
 //! one mutex and clears the registry before and after its drill.
 
+// Integration tests may panic freely; the crate's unwrap/expect
+// lints target the request path (EA006), not test assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex, MutexGuard};

@@ -1,6 +1,10 @@
 //! End-to-end tests for the inference server: raw `TcpStream` clients
 //! against a real listener on an ephemeral port.
 
+// Integration tests may panic freely; the crate's unwrap/expect
+// lints target the request path (EA006), not test assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;

@@ -14,7 +14,7 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Integer token identifier.
 pub type TokenId = usize;
@@ -80,12 +80,15 @@ impl Tokenizer {
     /// which guarantees the greedy subword segmenter terminates without
     /// `[UNK]` for any word made of seen characters.
     pub fn train<'a, I: IntoIterator<Item = &'a str>>(texts: I, max_vocab: usize) -> Self {
-        let mut counts: HashMap<String, u64> = HashMap::new();
-        let mut chars: HashMap<String, u64> = HashMap::new();
+        // BTreeMaps so iteration (and therefore vocabulary ids) is
+        // deterministic across runs — the analyzer's EA001 check rejects
+        // hash-order iteration on this path.
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut chars: BTreeSet<String> = BTreeSet::new();
         for text in texts {
             for w in normalize(text) {
                 for ch in w.chars() {
-                    *chars.entry(ch.to_string()).or_insert(0) += 1;
+                    chars.insert(ch.to_string());
                 }
                 *counts.entry(w).or_insert(0) += 1;
             }
@@ -105,9 +108,7 @@ impl Tokenizer {
         };
 
         // Characters first: they are the safety net for the segmenter.
-        let mut char_list: Vec<String> = chars.into_keys().collect();
-        char_list.sort();
-        for ch in char_list {
+        for ch in chars {
             push(ch, &mut token_to_id, &mut id_to_token);
         }
         for (tok, _) in ranked {

@@ -104,6 +104,9 @@ fn usage(specs: &[CommandSpec]) -> ExitCode {
         eprintln!("  {}", spec.usage().trim_end().replace('\n', "\n  "));
     }
     eprintln!(
+        "  analyze [--workspace | PATH…] — run the repo invariant lints (see `analyze --help`)"
+    );
+    eprintln!(
         "\nall commands honour EXPLAINTI_LOG=off|info|debug (default info)\n\
          and print a per-stage latency table to stderr unless telemetry is off"
     );
@@ -264,6 +267,8 @@ fn install_ctrl_c_flag() {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
+    // SAFETY: `signal(2)` is called once at startup from the main thread
+    // with a handler that only performs an async-signal-safe atomic store.
     unsafe {
         signal(SIGINT, on_sigint);
     }
@@ -318,6 +323,12 @@ fn main() -> ExitCode {
     let Some(cmd) = argv.first() else {
         return usage(&specs);
     };
+    // `analyze` delegates to the analyzer crate's own flag grammar
+    // (`--workspace`, `--format json`, `--bless`, …) rather than the
+    // spec parser — it is a lint pass, not a model command.
+    if cmd == "analyze" {
+        return analyzer::cli::main_with_args(&argv[1..]);
+    }
     let Some(spec) = specs.iter().find(|s| s.name() == cmd.as_str()) else {
         eprintln!("unknown command {cmd:?}\n");
         return usage(&specs);
