@@ -50,31 +50,57 @@ fn main() {
     let mut diverged = false;
 
     // -- Blocked matmul ---------------------------------------------------
-    let (m, k, n) = (384, 256, 384);
-    let a = random_tensor(m, k, &mut rng);
-    let b = random_tensor(k, n, &mut rng);
-    let (naive_ms, reference) = time_ms(5, || a.matmul_naive(&b));
-    let (serial_ms, serial) = time_ms(5, || a.matmul_in(&b, &pool1));
-    let (parallel_ms, parallel) = time_ms(5, || a.matmul_in(&b, &pool_n));
-    if serial.as_slice().iter().zip(parallel.as_slice()).any(|(x, y)| x.to_bits() != y.to_bits()) {
-        eprintln!("FAIL: parallel matmul diverges from serial");
-        diverged = true;
+    // Several shapes so a flat speedup is diagnosable from the artifact
+    // alone: ns/flop separates "kernel got slower" from "problem too
+    // small to amortise fan-out", and thread efficiency (speedup over
+    // thread count) shows how far from linear the scaling sits.
+    let mut matmul_shapes = Vec::new();
+    for (m, k, n) in [(96usize, 128usize, 96usize), (192, 256, 192), (384, 256, 384)] {
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        let (naive_ms, reference) = time_ms(5, || a.matmul_naive(&b));
+        let (serial_ms, serial) = time_ms(5, || a.matmul_in(&b, &pool1));
+        let (parallel_ms, parallel) = time_ms(5, || a.matmul_in(&b, &pool_n));
+        if serial
+            .as_slice()
+            .iter()
+            .zip(parallel.as_slice())
+            .any(|(x, y)| x.to_bits() != y.to_bits())
+        {
+            eprintln!("FAIL: parallel matmul {m}x{k}x{n} diverges from serial");
+            diverged = true;
+        }
+        let worst_err = serial
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        if worst_err > 1e-3 {
+            eprintln!("FAIL: blocked matmul drifts from the naive reference by {worst_err}");
+            diverged = true;
+        }
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let speedup = serial_ms / parallel_ms;
+        println!(
+            "matmul {m}x{k}x{n}:  naive {naive_ms:.2} ms | blocked@1 {serial_ms:.2} ms | \
+             blocked@{par_threads} {parallel_ms:.2} ms | speedup {speedup:.2}x | \
+             eff {:.2}",
+            speedup / par_threads as f64
+        );
+        matmul_shapes.push(json!({
+            "shape": json!([m, k, n]),
+            "flops": flops,
+            "naive_ms": naive_ms,
+            "blocked_serial_ms": serial_ms,
+            "blocked_parallel_ms": parallel_ms,
+            "ns_per_flop_naive": naive_ms * 1e6 / flops,
+            "ns_per_flop_serial": serial_ms * 1e6 / flops,
+            "ns_per_flop_parallel": parallel_ms * 1e6 / flops,
+            "speedup": speedup,
+            "thread_efficiency": speedup / par_threads as f64,
+        }));
     }
-    let worst_err = serial
-        .as_slice()
-        .iter()
-        .zip(reference.as_slice())
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f32, f32::max);
-    if worst_err > 1e-3 {
-        eprintln!("FAIL: blocked matmul drifts from the naive reference by {worst_err}");
-        diverged = true;
-    }
-    println!(
-        "matmul {m}x{k}x{n}:  naive {naive_ms:.2} ms | blocked@1 {serial_ms:.2} ms | \
-         blocked@{par_threads} {parallel_ms:.2} ms | speedup {:.2}x",
-        serial_ms / parallel_ms
-    );
 
     // -- Batched CLS embedding (the serving hot path) ---------------------
     let dataset = generate_wiki(&WikiConfig { num_tables: 60, seed: 777, ..Default::default() });
@@ -106,19 +132,14 @@ fn main() {
     let summary = json!({
         "available_parallelism": cores,
         "threads_parallel": par_threads,
-        "matmul": json!({
-            "shape": json!([m, k, n]),
-            "naive_ms": naive_ms,
-            "blocked_serial_ms": serial_ms,
-            "blocked_parallel_ms": parallel_ms,
-            "speedup": serial_ms / parallel_ms,
-        }),
+        "matmul": json!(matmul_shapes),
         "embed_cls_batch": json!({
             "batch": batch,
             "max_seq": MAX_SEQ,
             "serial_ms": embed_serial_ms,
             "parallel_ms": embed_parallel_ms,
             "speedup": embed_speedup,
+            "thread_efficiency": embed_speedup / par_threads as f64,
         }),
         "parallel_matches_serial": !diverged,
     });

@@ -131,6 +131,27 @@ impl Histogram {
         self.max()
     }
 
+    /// Adds every bucket and aggregate of `src` into `self` — the merge
+    /// primitive behind sliding-window quantiles ([`crate::SloWindow`]).
+    /// Concurrent recording into either side stays consistent bucket-wise
+    /// (each bucket is an independent atomic add).
+    pub fn merge_from(&self, src: &Histogram) {
+        let n = src.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        for (dst, s) in self.counts.iter().zip(src.counts.iter()) {
+            let c = s.load(Ordering::Relaxed);
+            if c != 0 {
+                dst.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(src.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(src.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(src.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Zeroes all buckets and aggregates in place.
     pub fn reset(&self) {
         for c in self.counts.iter() {
@@ -182,6 +203,27 @@ mod tests {
             let err = (rep as f64 - v as f64).abs() / v as f64;
             assert!(err < 0.07, "value {v} rep {rep} err {err}");
         }
+    }
+
+    #[test]
+    fn merge_combines_buckets_and_aggregates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [10u64, 20, 30] {
+            a.record(v);
+        }
+        for v in [5u64, 1_000_000] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 10 + 20 + 30 + 5 + 1_000_000);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 1_000_000);
+        // Merging an empty histogram changes nothing (incl. min).
+        a.merge_from(&Histogram::new());
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 5);
     }
 
     #[test]

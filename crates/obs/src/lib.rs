@@ -29,8 +29,14 @@ use explainti_metrics::report::TextTable;
 use serde_json::{json, Value};
 
 pub mod histogram;
+pub mod prom;
+pub mod slo;
+pub mod trace;
 
 pub use histogram::Histogram;
+pub use prom::prometheus;
+pub use slo::{SloSnapshot, SloWindow};
+pub use trace::{next_trace_id, set_trace_seed, RequestTrace, SpanCapture, TraceId, STAGES};
 
 // ---- Level filter -----------------------------------------------------
 
@@ -136,7 +142,7 @@ impl Registry {
         }
     }
 
-    fn snapshot(&self) -> Snapshot {
+    pub(crate) fn snapshot(&self) -> Snapshot {
         let counters = self
             .counters
             .lock()
@@ -157,10 +163,10 @@ impl Registry {
     }
 }
 
-struct Snapshot {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Arc<Histogram>>,
+pub(crate) struct Snapshot {
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+    pub(crate) histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
 /// The process-wide registry.
@@ -192,9 +198,14 @@ thread_local! {
 }
 
 /// Monotonic origin for trace timestamps.
-fn epoch() -> Instant {
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whole seconds since the trace epoch (the [`SloWindow`] clock).
+pub(crate) fn epoch_secs() -> u64 {
+    epoch().elapsed().as_secs()
 }
 
 /// RAII timer: created by [`span!`], records its wall-clock duration
@@ -236,6 +247,7 @@ impl Drop for SpanGuard {
         let dur = inner.start.elapsed();
         let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
         inner.hist.record(ns);
+        trace::note_span(inner.name, ns);
         SPAN_STACK.with(|s| {
             s.borrow_mut().pop();
         });
@@ -339,7 +351,12 @@ pub fn close_trace() {
     }
 }
 
-fn trace_event(event: Value) {
+/// Whether a JSONL sink is currently attached (one atomic load).
+pub(crate) fn sink_attached() -> bool {
+    SINK_ATTACHED.load(Ordering::Acquire) != 0
+}
+
+pub(crate) fn trace_event(event: Value) {
     if SINK_ATTACHED.load(Ordering::Acquire) == 0 {
         return;
     }

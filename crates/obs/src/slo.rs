@@ -1,0 +1,207 @@
+//! Sliding-window SLO tracking: rolling latency quantiles + error rate.
+//!
+//! A [`SloWindow`] is a ring of per-second slots, each holding a
+//! [`Histogram`] and an error count. Recording touches only the current
+//! second's slot; a snapshot merges the slots that fall inside the
+//! window into rolling p50/p99/p999 and an error rate, which the server
+//! publishes as `serve.slo.*` gauges. Slots are lazily recycled — a
+//! stale slot (older than the window) is reset the next time its ring
+//! position comes around — so the structure is O(window) memory with no
+//! background thread.
+//!
+//! Timestamps are seconds since the obs epoch (first instrumentation
+//! point), injectable via [`record_at`](SloWindow::record_at) /
+//! [`snapshot_at`](SloWindow::snapshot_at) so tests are deterministic.
+
+use std::sync::Mutex;
+
+use crate::histogram::Histogram;
+
+struct Slot {
+    /// Epoch second this slot currently holds (valid when `live`).
+    sec: u64,
+    live: bool,
+    errors: u64,
+    hist: Histogram,
+}
+
+/// Rolling latency/error tracker over the last `window_s` seconds.
+pub struct SloWindow {
+    window_s: u64,
+    slots: Mutex<Vec<Slot>>,
+}
+
+/// One merged view of a [`SloWindow`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSnapshot {
+    /// Window length in seconds.
+    pub window_s: u64,
+    /// Requests observed inside the window.
+    pub count: u64,
+    /// Errors observed inside the window.
+    pub errors: u64,
+    /// `errors / count` (0 when the window is empty).
+    pub error_rate: f64,
+    /// Rolling median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// Rolling 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Rolling 99.9th-percentile latency, nanoseconds.
+    pub p999_ns: u64,
+    /// Largest latency inside the window, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SloWindow {
+    /// A window covering the trailing `window_s` seconds (≥ 1).
+    pub fn new(window_s: u64) -> Self {
+        let window_s = window_s.max(1);
+        let slots = (0..window_s)
+            .map(|_| Slot { sec: 0, live: false, errors: 0, hist: Histogram::new() })
+            .collect();
+        Self { window_s, slots: Mutex::new(slots) }
+    }
+
+    /// The configured window length in seconds.
+    pub fn window_s(&self) -> u64 {
+        self.window_s
+    }
+
+    /// Poison-recovering lock: slot mutations leave the ring consistent
+    /// even if a holder panics (plain field writes), and SLO accounting
+    /// must never panic the request path.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Slot>> {
+        self.slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Records one request outcome at the current epoch second.
+    pub fn record(&self, latency_ns: u64, error: bool) {
+        self.record_at(crate::epoch_secs(), latency_ns, error);
+    }
+
+    /// Records one request outcome at an explicit epoch second (tests).
+    pub fn record_at(&self, sec: u64, latency_ns: u64, error: bool) {
+        let mut slots = self.lock();
+        let idx = (sec % self.window_s) as usize;
+        let Some(slot) = slots.get_mut(idx) else { return };
+        if !slot.live || slot.sec != sec {
+            slot.sec = sec;
+            slot.live = true;
+            slot.errors = 0;
+            slot.hist.reset();
+        }
+        slot.hist.record(latency_ns);
+        if error {
+            slot.errors += 1;
+        }
+    }
+
+    /// Merged rolling view as of the current epoch second.
+    pub fn snapshot(&self) -> SloSnapshot {
+        self.snapshot_at(crate::epoch_secs())
+    }
+
+    /// Merged rolling view as of an explicit epoch second (tests).
+    pub fn snapshot_at(&self, now_sec: u64) -> SloSnapshot {
+        let merged = Histogram::new();
+        let mut errors = 0u64;
+        {
+            let slots = self.lock();
+            for slot in slots.iter() {
+                // A slot counts when it holds a second inside
+                // (now - window, now]; anything else is stale or future.
+                if slot.live && slot.sec <= now_sec && now_sec - slot.sec < self.window_s {
+                    merged.merge_from(&slot.hist);
+                    errors += slot.errors;
+                }
+            }
+        }
+        let count = merged.count();
+        SloSnapshot {
+            window_s: self.window_s,
+            count,
+            errors,
+            error_rate: if count > 0 { errors as f64 / count as f64 } else { 0.0 },
+            p50_ns: merged.quantile(0.50),
+            p99_ns: merged.quantile(0.99),
+            p999_ns: merged.quantile(0.999),
+            max_ns: merged.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_reports_zeros() {
+        let w = SloWindow::new(10);
+        let s = w.snapshot_at(100);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.error_rate, 0.0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.p999_ns, 0);
+    }
+
+    #[test]
+    fn rolls_quantiles_and_error_rate_over_the_window() {
+        let w = SloWindow::new(5);
+        for sec in 0..5u64 {
+            for i in 0..20u64 {
+                w.record_at(sec, 1_000 * (i + 1), i == 0 && sec == 2);
+            }
+        }
+        let s = w.snapshot_at(4);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.errors, 1);
+        assert!((s.error_rate - 0.01).abs() < 1e-9);
+        // Median of 20×{1k..20k} repeated: ~10k, within bucket error.
+        assert!(s.p50_ns >= 9_000 && s.p50_ns <= 11_000, "p50 {}", s.p50_ns);
+        assert!(s.p99_ns >= 18_000, "p99 {}", s.p99_ns);
+        assert!(s.p999_ns >= s.p99_ns);
+        assert_eq!(s.max_ns, 20_000);
+    }
+
+    #[test]
+    fn old_seconds_age_out() {
+        let w = SloWindow::new(3);
+        w.record_at(0, 1_000_000, true); // will age out
+        w.record_at(5, 2_000, false);
+        let s = w.snapshot_at(5);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.max_ns, 2_000);
+        // The stale slot is recycled when its ring position returns.
+        w.record_at(6, 3_000, false);
+        let s = w.snapshot_at(6);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn slot_reuse_resets_previous_contents() {
+        let w = SloWindow::new(2);
+        w.record_at(0, 10_000, true);
+        w.record_at(2, 500, false); // same ring index as sec 0
+        let s = w.snapshot_at(2);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.max_ns, 500);
+    }
+
+    #[test]
+    fn p999_tracks_the_tail() {
+        let w = SloWindow::new(60);
+        // 5 of 2000 samples (0.25%) sit at 5 ms: the p999 rank (1998)
+        // lands inside the tail, the median nowhere near it.
+        for i in 0..2_000u64 {
+            w.record_at(i % 60, if i >= 1_995 { 5_000_000 } else { 10_000 }, false);
+        }
+        let s = w.snapshot_at(59);
+        assert_eq!(s.count, 2_000);
+        assert!(s.p999_ns >= 4_000_000, "p999 {} missed the tail", s.p999_ns);
+        assert!(s.p50_ns < 20_000);
+    }
+}

@@ -100,6 +100,10 @@ struct Job {
     /// Tasks executed by pool workers (vs the submitting thread) —
     /// the numerator of the effective-parallelism telemetry.
     by_workers: AtomicUsize,
+    /// Span-capture context of the submitting thread, re-installed
+    /// around every task so spans closed on pool workers attribute to
+    /// the request that submitted the job (wide-event tracing).
+    capture: Option<explainti_obs::SpanCapture>,
 }
 
 impl Job {
@@ -110,6 +114,10 @@ impl Job {
     /// Claims and runs task indices until the job is exhausted.
     /// Returns how many tasks this thread executed.
     fn run(&self, worker: bool) -> usize {
+        // Extend the submitter's span capture over this thread for the
+        // duration of the job (a re-install on the submitting thread
+        // itself is a harmless self-replacement).
+        let _capture = self.capture.as_ref().map(|c| c.install());
         // SAFETY: see `RawTask` — the closure outlives the job.
         let f = unsafe { &*self.task.0 };
         let mut ran = 0;
@@ -250,6 +258,7 @@ impl ThreadPool {
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
             by_workers: AtomicUsize::new(0),
+            capture: explainti_obs::trace::current_capture(),
         });
         {
             let mut st = self.shared.state.lock().unwrap();
@@ -424,6 +433,32 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn span_capture_extends_across_pool_workers() {
+        explainti_obs::set_level(explainti_obs::Level::Info);
+        let pool = ThreadPool::new(4);
+        let cap = explainti_obs::SpanCapture::new();
+        {
+            let _g = cap.install();
+            pool.scope(64, |_| {
+                let _span = explainti_obs::span!("pooltest.task");
+                std::hint::black_box(());
+            });
+        }
+        // Every task's span lands in the submitter's capture, no matter
+        // which thread ran it (the job re-installs the capture).
+        assert!(
+            cap.sums().contains_key("pooltest.task"),
+            "pool-worker spans must feed the submitting capture"
+        );
+        // Spans closed after the scope no longer feed the capture.
+        let before = cap.get("pooltest.task");
+        {
+            let _span = explainti_obs::span!("pooltest.task");
+        }
+        assert_eq!(cap.get("pooltest.task"), before);
     }
 
     #[test]

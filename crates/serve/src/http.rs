@@ -20,8 +20,10 @@ const MAX_HEADERS: usize = 100;
 pub struct Request {
     /// HTTP method, uppercased as received (`GET`, `POST`, …).
     pub method: String,
-    /// Request target, e.g. `/v1/interpret` (query strings kept as-is).
+    /// Request path with any query string removed, e.g. `/v1/interpret`.
     pub path: String,
+    /// Raw query string after `?` (empty when absent), undecoded.
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
 }
@@ -58,8 +60,12 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, ApiError> {
         .next()
         .ok_or_else(|| ApiError::bad_request("empty request line"))?
         .to_ascii_uppercase();
-    let path =
+    let target =
         parts.next().ok_or_else(|| ApiError::bad_request("request line has no path"))?.to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
     match parts.next() {
         Some(v) if v.starts_with("HTTP/1.") => {}
         _ => return Err(ApiError::bad_request("expected an HTTP/1.x request")),
@@ -75,7 +81,7 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, ApiError> {
                     .read_exact(&mut body)
                     .map_err(|_| ApiError::bad_request("body shorter than Content-Length"))?;
             }
-            return Ok(Request { method, path, body });
+            return Ok(Request { method, path, query: query.clone(), body });
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
@@ -109,22 +115,111 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete JSON response and flushes. The connection is
-/// single-exchange, so the response always carries `Connection: close`.
-pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+/// Writes a complete response and flushes. The connection is
+/// single-exchange, so the response always carries `Connection: close`;
+/// when `trace_id` is set the response also carries `X-Trace-Id`, so
+/// clients can join failures against the JSONL trace sink.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    trace_id: Option<&str>,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
     );
+    if let Some(id) = trace_id {
+        head.push_str("X-Trace-Id: ");
+        head.push_str(id);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Writes a JSON response (no trace header — prefer the `_traced`
+/// variants on the request path).
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body, None)
+}
+
+/// Writes a JSON response carrying `X-Trace-Id`.
+pub fn write_json_traced(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    trace_id: &str,
+) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body, Some(trace_id))
+}
+
+/// Writes a plain-text response carrying `X-Trace-Id` (the Prometheus
+/// exposition format is `text/plain; version=0.0.4`).
+pub fn write_text_traced(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    trace_id: &str,
+) -> std::io::Result<()> {
+    write_response(stream, status, "text/plain; version=0.0.4", body, Some(trace_id))
+}
+
+/// The [`ApiError`] body with a `trace_id` key spliced in.
+///
+/// The wire schema is frozen (EA005), so the id rides in the serialised
+/// JSON at the HTTP layer — round-tripped through `Value` so the body
+/// stays byte-compatible with the bare `ApiError` shape plus one key —
+/// rather than as a new DTO field.
+fn error_body(err: &ApiError, trace_id: &str) -> String {
+    let plain = serde_json::to_string(err).unwrap_or_else(|_| "{}".to_string());
+    match serde_json::from_str::<serde_json::Value>(&plain) {
+        Ok(serde_json::Value::Object(mut map)) => {
+            map.insert("trace_id".to_string(), serde_json::Value::String(trace_id.to_string()));
+            serde_json::to_string(&serde_json::Value::Object(map)).unwrap_or(plain)
+        }
+        _ => plain,
+    }
 }
 
 /// Serialises an [`ApiError`] as the response body at its mapped status.
 pub fn write_error(stream: &mut TcpStream, err: &ApiError) -> std::io::Result<()> {
     let body = serde_json::to_string(err).unwrap_or_else(|_| "{}".to_string());
     write_json(stream, err.status(), &body)
+}
+
+/// Like [`write_error`], but the body carries a `trace_id` key and the
+/// response an `X-Trace-Id` header.
+pub fn write_error_traced(
+    stream: &mut TcpStream,
+    err: &ApiError,
+    trace_id: &str,
+) -> std::io::Result<()> {
+    let body = error_body(err, trace_id);
+    write_response(stream, err.status(), "application/json", &body, Some(trace_id))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_body_splices_trace_id_and_keeps_shape() {
+        let err = ApiError::bad_request("nope");
+        let body = error_body(&err, "00000000deadbeef");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["trace_id"].as_str().unwrap(), "00000000deadbeef");
+        assert_eq!(v["message"].as_str().unwrap(), "nope");
+        // The original error keys survive the splice byte-for-byte.
+        let plain = serde_json::to_string(&err).unwrap();
+        let plain_v: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        assert_eq!(v["code"], plain_v["code"]);
+    }
 }

@@ -59,6 +59,10 @@ pub struct ServeConfig {
     /// inherits the process-wide pool as already configured (CLI flag,
     /// `EXPLAINTI_THREADS`, or available parallelism).
     pub threads: usize,
+    /// Sliding SLO window length in seconds: rolling p50/p99/p999 and
+    /// error rate over the trailing window, published as `serve.slo.*`
+    /// gauges at metrics-scrape time.
+    pub slo_window_s: u64,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +76,7 @@ impl Default for ServeConfig {
             deadline_ms: 30_000,
             top_k: explainti_api::DEFAULT_TOP_K,
             threads: 0,
+            slo_window_s: 60,
         }
     }
 }
@@ -89,12 +94,51 @@ const MAX_ATTEMPTS: u32 = 2;
 /// attempt already made.
 const RETRY_BACKOFF_MS: u64 = 10;
 
+/// Stage timings a worker reports back with each response so the
+/// connection handler can fold them into the request's wide event.
+/// `queue_wait` is per job; the remaining fields describe the micro-batch
+/// the job rode in (per-request events record their batch's cost — the
+/// critical path the request actually waited on — not an amortised share).
+struct JobStages {
+    queue_wait_ns: u64,
+    batch_assembly_ns: u64,
+    /// Forward + head time net of the three explanation views.
+    predict_ns: u64,
+    le_ns: u64,
+    ge_ns: u64,
+    se_ns: u64,
+    batch_size: u64,
+}
+
+impl JobStages {
+    /// Total worker-side chain: the sequential enqueue → reply interval.
+    fn chain_ns(&self) -> u64 {
+        self.queue_wait_ns
+            .saturating_add(self.batch_assembly_ns)
+            .saturating_add(self.predict_ns)
+            .saturating_add(self.le_ns)
+            .saturating_add(self.ge_ns)
+            .saturating_add(self.se_ns)
+    }
+}
+
+/// What a worker (or the cache path) sends back per job: the response
+/// plus stage timings (`None` for cache hits — nothing was computed).
+type JobReply = Result<(Arc<PredictResponse>, Option<JobStages>), ApiError>;
+
+/// Saturating nanoseconds from `earlier` to `later` (0 if out of order).
+fn ns_since(earlier: Instant, later: Instant) -> u64 {
+    later.saturating_duration_since(earlier).as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// One queued column prediction.
 struct Job {
     encoded: explainti_tokenizer::Encoded,
     key: u64,
-    resp_tx: mpsc::Sender<Result<Arc<PredictResponse>, ApiError>>,
+    resp_tx: mpsc::Sender<JobReply>,
     deadline: Instant,
+    /// When the job entered the queue (wide-event `queue_wait`).
+    enqueued_at: Instant,
     /// Times this job has been handed to a worker (retry bookkeeping).
     attempts: u32,
 }
@@ -109,6 +153,8 @@ struct Shared {
     top_k: usize,
     max_batch: usize,
     deadline: Duration,
+    /// Rolling latency/error window behind the `serve.slo.*` gauges.
+    slo: explainti_obs::SloWindow,
     /// Effective knobs + model facts, frozen at startup for `/v1/config`.
     config: ConfigResponse,
 }
@@ -133,10 +179,16 @@ fn cache_key(title: &str, header: &str, cells: &[String]) -> u64 {
 
 fn worker_loop(shared: &Shared) {
     while let Some(batch) = shared.queue.pop_batch(shared.max_batch) {
-        explainti_obs::set_gauge("serve.queue.depth", shared.queue.len() as f64);
-        let now = Instant::now();
+        let drained_at = Instant::now();
+        let depth = shared.queue.len();
+        explainti_obs::set_gauge("serve.queue.depth", depth as f64);
+        if explainti_obs::enabled() {
+            // Depth sampled at every drain: a distribution (not just the
+            // latest gauge value), so load tests can plot queue pressure.
+            explainti_obs::registry().histogram("serve.queue.depth.sampled").record(depth as u64);
+        }
         let (live, expired): (Vec<Job>, Vec<Job>) =
-            batch.into_iter().partition(|j| j.deadline > now);
+            batch.into_iter().partition(|j| j.deadline > drained_at);
         if !expired.is_empty() {
             // The waiting handler already gave up; don't burn a forward.
             explainti_obs::counter!("serve.jobs.expired", expired.len() as u64);
@@ -155,15 +207,34 @@ fn worker_loop(shared: &Shared) {
         }
         let encs: Vec<explainti_tokenizer::Encoded> =
             live.iter().map(|j| j.encoded.clone()).collect();
+        let forward_at = Instant::now();
+        let batch_assembly_ns = ns_since(drained_at, forward_at);
+        // Capture every span the forward closes — including those on
+        // kernel-pool threads, which re-install this capture around each
+        // task — so per-request wide events can attribute predict/LE/GE/SE.
+        let capture = explainti_obs::SpanCapture::new();
         // A panicking forward (injected via `serve.worker.panic` or real)
         // must not kill the worker: recover, re-enqueue each job within
         // its retry budget, and answer a typed 500 past it.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            explainti_faults::panic_if_triggered("serve.worker.panic");
-            shared.model.predict_encoded_batch(&encs)
-        }));
+        let outcome = {
+            let _ctx = capture.install();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                explainti_faults::panic_if_triggered("serve.worker.panic");
+                shared.model.predict_encoded_batch(&encs)
+            }))
+        };
         match outcome {
             Ok(preds) => {
+                let le_ns = capture.get("explain.le");
+                let ge_ns = capture.get("explain.ge");
+                let se_ns = capture.get("explain.se");
+                // Disjoint stages: predict is the batch forward net of
+                // the three explanation views, so the stage fields sum
+                // to (at most) the observed span total.
+                let predict_ns = capture
+                    .get("model.predict_batch")
+                    .saturating_sub(le_ns.saturating_add(ge_ns).saturating_add(se_ns));
+                let batch_size = live.len() as u64;
                 for (job, pred) in live.into_iter().zip(preds) {
                     let resp = Arc::new(PredictResponse::from_prediction(
                         &pred,
@@ -171,8 +242,17 @@ fn worker_loop(shared: &Shared) {
                         shared.top_k,
                     ));
                     lock_cache(shared).insert(job.key, Arc::clone(&resp));
+                    let stages = JobStages {
+                        queue_wait_ns: ns_since(job.enqueued_at, drained_at),
+                        batch_assembly_ns,
+                        predict_ns,
+                        le_ns,
+                        ge_ns,
+                        se_ns,
+                        batch_size,
+                    };
                     // A closed receiver means the handler timed out.
-                    let _ = job.resp_tx.send(Ok(resp));
+                    let _ = job.resp_tx.send(Ok((resp, Some(stages))));
                 }
             }
             Err(_) => {
@@ -211,15 +291,18 @@ fn submit_column(
     shared: &Shared,
     req: &PredictRequest,
     deadline: Instant,
-) -> Result<mpsc::Receiver<Result<Arc<PredictResponse>, ApiError>>, ApiError> {
+    rtrace: &mut explainti_obs::RequestTrace,
+) -> Result<mpsc::Receiver<JobReply>, ApiError> {
     if req.header.is_empty() && req.cells.is_empty() {
         return Err(ApiError::bad_request("column has neither header nor cells"));
     }
+    rtrace.note_column();
     let key = cache_key(&req.title, &req.header, &req.cells);
     let (tx, rx) = mpsc::channel();
     if let Some(hit) = lock_cache(shared).get(&key) {
         explainti_obs::counter!("serve.cache.hit", 1);
-        let _ = tx.send(Ok(Arc::clone(hit)));
+        rtrace.note_cache_hit();
+        let _ = tx.send(Ok((Arc::clone(hit), None)));
         return Ok(rx);
     }
     explainti_obs::counter!("serve.cache.miss", 1);
@@ -231,8 +314,10 @@ fn submit_column(
         ));
     }
     let cells: Vec<&str> = req.cells.iter().map(String::as_str).collect();
+    let encode_start = Instant::now();
     let encoded = shared.model.encode_ad_hoc_column(&req.title, &req.header, &cells);
-    let job = Job { encoded, key, resp_tx: tx, deadline, attempts: 0 };
+    rtrace.add_stage("encode", ns_since(encode_start, Instant::now()));
+    let job = Job { encoded, key, resp_tx: tx, deadline, enqueued_at: Instant::now(), attempts: 0 };
     match shared.queue.push(job) {
         Ok(()) => {
             explainti_obs::set_gauge("serve.queue.depth", shared.queue.len() as f64);
@@ -249,23 +334,58 @@ fn submit_column(
 }
 
 fn await_response(
-    rx: &mpsc::Receiver<Result<Arc<PredictResponse>, ApiError>>,
+    rx: &mpsc::Receiver<JobReply>,
     deadline: Instant,
-) -> Result<Arc<PredictResponse>, ApiError> {
+) -> Result<(Arc<PredictResponse>, Option<JobStages>), ApiError> {
     let remaining = deadline.saturating_duration_since(Instant::now());
     rx.recv_timeout(remaining)
         .map_err(|_| ApiError::new(ErrorCode::DeadlineExceeded, "prediction missed its deadline"))?
 }
 
-fn handle_interpret(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
+/// Folds one job's worker-side stage timings into the request's wide
+/// event. Multi-column requests keep the *longest* single chain rather
+/// than summing across columns: chains of different columns overlap in
+/// real time, and the wide-event invariant is that stage durations are
+/// sequential pieces of the request's own lifetime (sum ≤ total).
+fn fold_worker_stages(best: &mut Option<JobStages>, stages: Option<JobStages>) {
+    if let Some(st) = stages {
+        let better = best.as_ref().is_none_or(|b| st.chain_ns() > b.chain_ns());
+        if better {
+            *best = Some(st);
+        }
+    }
+}
+
+/// Writes the chosen worker chain into the wide event's stage fields.
+fn apply_worker_stages(rtrace: &mut explainti_obs::RequestTrace, best: Option<JobStages>) {
+    if let Some(st) = best {
+        rtrace.add_stage("queue_wait", st.queue_wait_ns);
+        rtrace.add_stage("batch_assembly", st.batch_assembly_ns);
+        rtrace.add_stage("predict", st.predict_ns);
+        rtrace.add_stage("explain_le", st.le_ns);
+        rtrace.add_stage("explain_ge", st.ge_ns);
+        rtrace.add_stage("explain_se", st.se_ns);
+        rtrace.note_batch(st.batch_size);
+    }
+}
+
+fn handle_interpret(
+    shared: &Shared,
+    body: &[u8],
+    rtrace: &mut explainti_obs::RequestTrace,
+) -> Result<String, ApiError> {
     let _span = explainti_obs::span!("serve.request.interpret");
     if shared.shutdown.load(Ordering::SeqCst) {
         return Err(ApiError::new(ErrorCode::ShuttingDown, "server is shutting down"));
     }
-    let text =
-        std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not valid UTF-8"))?;
-    let value: Value =
-        serde_json::from_str(text).map_err(|e| ApiError::bad_request(format!("bad JSON: {e}")))?;
+    let parse_start = Instant::now();
+    let parsed: Result<Value, ApiError> = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("body is not valid UTF-8"))
+        .and_then(|text| {
+            serde_json::from_str(text).map_err(|e| ApiError::bad_request(format!("bad JSON: {e}")))
+        });
+    rtrace.add_stage("parse", ns_since(parse_start, Instant::now()));
+    let value = parsed?;
     let deadline = Instant::now() + shared.deadline;
 
     // A body with a "columns" key is a whole table; otherwise a single
@@ -289,68 +409,127 @@ fn handle_interpret(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
         let mut pending = Vec::with_capacity(req.columns.len());
         for idx in 0..req.columns.len() {
             let col = req.column_request(idx);
-            pending.push((col.header.clone(), submit_column(shared, &col, deadline)?));
+            pending.push((col.header.clone(), submit_column(shared, &col, deadline, rtrace)?));
         }
         let mut columns = Vec::with_capacity(pending.len());
+        let mut best = None;
         for (header, rx) in pending {
-            let resp = await_response(&rx, deadline)?;
+            let (resp, stages) = await_response(&rx, deadline)?;
+            fold_worker_stages(&mut best, stages);
             columns.push(ColumnPrediction { header, prediction: (*resp).clone() });
         }
+        apply_worker_stages(rtrace, best);
         let out =
             InterpretTableResponse { schema_version: SCHEMA_VERSION, title: req.title, columns };
-        Ok(serde_json::to_string(&out).unwrap_or_default())
+        let ser_start = Instant::now();
+        let body = serde_json::to_string(&out).unwrap_or_default();
+        rtrace.add_stage("serialize", ns_since(ser_start, Instant::now()));
+        Ok(body)
     } else {
         let req = PredictRequest::from_value(&value)
             .map_err(|e| ApiError::bad_request(format!("bad predict request: {e}")))?;
-        let rx = submit_column(shared, &req, deadline)?;
-        let resp = await_response(&rx, deadline)?;
-        Ok(serde_json::to_string(&*resp).unwrap_or_default())
+        let rx = submit_column(shared, &req, deadline, rtrace)?;
+        let (resp, stages) = await_response(&rx, deadline)?;
+        apply_worker_stages(rtrace, stages);
+        let ser_start = Instant::now();
+        let body = serde_json::to_string(&*resp).unwrap_or_default();
+        rtrace.add_stage("serialize", ns_since(ser_start, Instant::now()));
+        Ok(body)
     }
 }
 
+/// A successful response body plus the content type it ships with.
+enum Reply {
+    Json(String),
+    /// Prometheus text exposition.
+    Text(String),
+}
+
+/// Publishes the rolling SLO view as `serve.slo.*` gauges — called at
+/// metrics-scrape time so both the JSON snapshot and the Prometheus
+/// rendering carry fresh values.
+fn publish_slo_gauges(shared: &Shared) {
+    let snap = shared.slo.snapshot();
+    explainti_obs::set_gauge("serve.slo.window_s", snap.window_s as f64);
+    explainti_obs::set_gauge("serve.slo.requests", snap.count as f64);
+    explainti_obs::set_gauge("serve.slo.error_rate", snap.error_rate);
+    explainti_obs::set_gauge("serve.slo.p50_ms", snap.p50_ns as f64 / 1e6);
+    explainti_obs::set_gauge("serve.slo.p99_ms", snap.p99_ns as f64 / 1e6);
+    explainti_obs::set_gauge("serve.slo.p999_ms", snap.p999_ns as f64 / 1e6);
+}
+
+fn handle_metrics(shared: &Shared, query: &str) -> Result<Reply, ApiError> {
+    let _span = explainti_obs::span!("serve.request.metrics");
+    publish_slo_gauges(shared);
+    if query.split('&').any(|kv| kv == "format=prometheus") {
+        return Ok(Reply::Text(explainti_obs::prometheus()));
+    }
+    let mut summary = explainti_obs::summary();
+    if let Value::Object(map) = &mut summary {
+        map.insert("schema_version".to_string(), json!(SCHEMA_VERSION));
+        map.insert("degraded".to_string(), json!(shared.model.is_degraded()));
+        // Failpoint trip counts (empty object when no chaos drill
+        // has run), so operators and the chaos-smoke CI job can
+        // scrape what actually fired.
+        let mut hits = std::collections::BTreeMap::new();
+        for (site, n) in explainti_faults::hit_counts() {
+            hits.insert(site, json!(n));
+        }
+        map.insert("failpoints".to_string(), Value::Object(hits));
+    }
+    Ok(Reply::Json(serde_json::to_string(&summary).unwrap_or_default()))
+}
+
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let trace_id = explainti_obs::next_trace_id();
+    let tid = trace_id.to_string();
+    let mut rtrace = explainti_obs::RequestTrace::new(trace_id);
     // A stalled client must not block shutdown drain forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let read_start = Instant::now();
     let request = match http::read_request(&stream) {
         Ok(r) => r,
         Err(err) => {
-            let _ = http::write_error(&mut stream, &err);
+            rtrace.add_stage("parse", ns_since(read_start, Instant::now()));
+            rtrace.set_status(err.status());
+            let _ = http::write_error_traced(&mut stream, &err, &tid);
+            rtrace.finish();
             return;
         }
     };
+    rtrace.add_stage("parse", ns_since(read_start, Instant::now()));
     explainti_obs::counter!("serve.requests", 1);
-    let result: Result<String, ApiError> = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/interpret") => handle_interpret(shared, &request.body),
+    let mut is_interpret = false;
+    let result: Result<Reply, ApiError> = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/interpret") => {
+            rtrace.set_endpoint("interpret");
+            is_interpret = true;
+            handle_interpret(shared, &request.body, &mut rtrace).map(Reply::Json)
+        }
         ("GET", "/v1/healthz") => {
             let _span = explainti_obs::span!("serve.request.healthz");
+            rtrace.set_endpoint("healthz");
             let degraded = shared.model.is_degraded();
-            Ok(serde_json::to_string(&json!({"degraded": degraded, "status": "ok"}))
-                .unwrap_or_default())
+            Ok(Reply::Json(
+                serde_json::to_string(&json!({"degraded": degraded, "status": "ok"}))
+                    .unwrap_or_default(),
+            ))
         }
         ("GET", "/v1/metrics") => {
-            let _span = explainti_obs::span!("serve.request.metrics");
-            let mut summary = explainti_obs::summary();
-            if let Value::Object(map) = &mut summary {
-                map.insert("schema_version".to_string(), json!(SCHEMA_VERSION));
-                map.insert("degraded".to_string(), json!(shared.model.is_degraded()));
-                // Failpoint trip counts (empty object when no chaos drill
-                // has run), so operators and the chaos-smoke CI job can
-                // scrape what actually fired.
-                let mut hits = std::collections::BTreeMap::new();
-                for (site, n) in explainti_faults::hit_counts() {
-                    hits.insert(site, json!(n));
-                }
-                map.insert("failpoints".to_string(), Value::Object(hits));
-            }
-            Ok(serde_json::to_string(&summary).unwrap_or_default())
+            rtrace.set_endpoint("metrics");
+            handle_metrics(shared, &request.query)
         }
         ("GET", "/v1/config") => {
             let _span = explainti_obs::span!("serve.request.config");
-            Ok(serde_json::to_string(&shared.config).unwrap_or_default())
+            rtrace.set_endpoint("config");
+            Ok(Reply::Json(serde_json::to_string(&shared.config).unwrap_or_default()))
         }
         ("POST", "/v1/shutdown") => {
+            rtrace.set_endpoint("shutdown");
             shared.shutdown.store(true, Ordering::SeqCst);
-            Ok(serde_json::to_string(&json!({"status": "shutting down"})).unwrap_or_default())
+            Ok(Reply::Json(
+                serde_json::to_string(&json!({"status": "shutting down"})).unwrap_or_default(),
+            ))
         }
         (
             "POST" | "GET",
@@ -358,14 +537,28 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         ) => Err(ApiError::new(ErrorCode::MethodNotAllowed, "wrong method for this endpoint")),
         (_, path) => Err(ApiError::new(ErrorCode::NotFound, format!("no such endpoint: {path}"))),
     };
+    let status = match &result {
+        Ok(_) => 200,
+        Err(err) => err.status(),
+    };
+    rtrace.set_status(status);
     match result {
-        Ok(body) => {
-            let _ = http::write_json(&mut stream, 200, &body);
+        Ok(Reply::Json(body)) => {
+            let _ = http::write_json_traced(&mut stream, 200, &body, &tid);
+        }
+        Ok(Reply::Text(body)) => {
+            let _ = http::write_text_traced(&mut stream, 200, &body, &tid);
         }
         Err(err) => {
-            let _ = http::write_error(&mut stream, &err);
+            let _ = http::write_error_traced(&mut stream, &err, &tid);
         }
     }
+    if is_interpret {
+        // The SLO window tracks the paper-relevant endpoint only; 5xx
+        // count as errors, client errors (4xx) do not.
+        shared.slo.record(rtrace.elapsed_ns(), status >= 500);
+    }
+    rtrace.finish();
 }
 
 // ---- Server lifecycle -------------------------------------------------
@@ -463,6 +656,7 @@ pub fn start(
         top_k: cfg.top_k.max(1),
         max_batch: cfg.max_batch.max(1),
         deadline: Duration::from_millis(cfg.deadline_ms.max(1)),
+        slo: explainti_obs::SloWindow::new(cfg.slo_window_s.max(1)),
         config,
     });
 

@@ -49,6 +49,30 @@ fn request(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) ->
     (status, body)
 }
 
+/// Like [`request`], but returns the unparsed response (headers + body)
+/// for assertions on `X-Trace-Id`.
+fn request_raw(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let msg = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    raw
+}
+
+/// Extracts the `X-Trace-Id` header value from a raw response.
+fn trace_id_of(raw: &str) -> Option<&str> {
+    raw.split("\r\n\r\n").next().and_then(|head| {
+        head.lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(k, _)| k.trim().eq_ignore_ascii_case("x-trace-id"))
+            .map(|(_, v)| v.trim())
+    })
+}
+
 #[test]
 fn serves_interpret_cache_metrics_errors_and_shutdown() {
     let (model, labels) = tiny_model();
@@ -116,10 +140,14 @@ fn serves_interpret_cache_metrics_errors_and_shutdown() {
     assert!(body.contains("BadRequest"));
     let (status, _) = request(&addr, "POST", "/v1/interpret", r#"{"wrong":"shape"}"#);
     assert_eq!(status, 400);
-    let (status, _) = request(&addr, "GET", "/v1/nope", "");
-    assert_eq!(status, 404);
-    let (status, _) = request(&addr, "GET", "/v1/interpret", "");
-    assert_eq!(status, 405);
+    let raw = request_raw(&addr, "GET", "/v1/nope", "");
+    assert!(raw.starts_with("HTTP/1.1 404"), "raw: {raw}");
+    let tid = trace_id_of(&raw).expect("404 carries X-Trace-Id");
+    assert!(raw.contains(&format!("\"trace_id\":\"{tid}\"")), "404 body echoes id: {raw}");
+    let raw = request_raw(&addr, "GET", "/v1/interpret", "");
+    assert!(raw.starts_with("HTTP/1.1 405"), "raw: {raw}");
+    let tid = trace_id_of(&raw).expect("405 carries X-Trace-Id");
+    assert!(raw.contains(&format!("\"trace_id\":\"{tid}\"")), "405 body echoes id: {raw}");
 
     // Graceful shutdown via the endpoint; join() must return.
     let (status, _) = request(&addr, "POST", "/v1/shutdown", "");
@@ -181,6 +209,15 @@ fn config_endpoint_reports_effective_knobs() {
         Some(explainti_api::SCHEMA_VERSION as u64)
     );
 
+    // The same endpoint negotiates Prometheus exposition via the query
+    // string, including the rolling SLO gauges.
+    let raw = request_raw(&addr, "GET", "/v1/metrics?format=prometheus", "");
+    assert!(raw.starts_with("HTTP/1.1 200"), "raw: {raw}");
+    assert!(raw.contains("text/plain; version=0.0.4"), "raw head: {raw}");
+    let prom = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or_default();
+    assert!(prom.contains("# TYPE serve_slo_window_s gauge"), "prometheus body: {prom}");
+    assert!(prom.contains("serve_slo_p99_ms"), "prometheus body: {prom}");
+
     handle.shutdown();
     handle.join();
 
@@ -240,9 +277,11 @@ fn full_queue_returns_503_without_hanging() {
         {"header":"a","cells":["1"]},{"header":"b","cells":["2"]},
         {"header":"c","cells":["3"]},{"header":"d","cells":["4"]},
         {"header":"e","cells":["5"]}]}"#;
-    let (status, body) = request(&addr, "POST", "/v1/interpret", table);
-    assert_eq!(status, 503, "body: {body}");
-    assert!(body.contains("QueueFull"), "body: {body}");
+    let raw = request_raw(&addr, "POST", "/v1/interpret", table);
+    assert!(raw.starts_with("HTTP/1.1 503"), "raw: {raw}");
+    assert!(raw.contains("QueueFull"), "raw: {raw}");
+    let tid = trace_id_of(&raw).expect("503 carries X-Trace-Id");
+    assert!(raw.contains(&format!("\"trace_id\":\"{tid}\"")), "503 body echoes id: {raw}");
 
     handle.shutdown();
     handle.join();

@@ -93,7 +93,8 @@ fn all_specs() -> Vec<CommandSpec> {
                 .value("queue-cap", "N", "bounded queue capacity; full → 503 (default 64)")
                 .value("cache-cap", "N", "LRU response cache capacity (default 256)")
                 .value("deadline-ms", "MS", "per-request deadline; late → 504 (default 30000)")
-                .value("top-k", "N", "explanations per view in responses (default 3)"),
+                .value("top-k", "N", "explanations per view in responses (default 3)")
+                .value("slo-window-s", "S", "sliding SLO window for serve.slo.* (default 60)"),
         ),
     ]
 }
@@ -289,6 +290,7 @@ fn cmd_serve(args: &Parsed) -> Result<ExitCode, String> {
         top_k: args.get_or("top-k", explainti::api::DEFAULT_TOP_K).map_err(|e| e.to_string())?,
         // 0 = inherit the pool `main()` already sized from `--threads`.
         threads: 0,
+        slo_window_s: args.get_or("slo-window-s", 60u64).map_err(|e| e.to_string())?,
     };
     let labels = dataset.collection.type_labels.clone();
     let mut handle = explainti::serve::start(Arc::new(model), labels, cfg)
