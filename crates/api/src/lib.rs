@@ -37,7 +37,15 @@ pub const DEFAULT_TOP_K: usize = 3;
 
 /// Version of the response wire format. Bumped when a field changes
 /// meaning or disappears; additive fields keep the version.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// **v2** (event-driven serving front-end): [`ApiError`] gained a typed
+/// `retry_after_s` field, [`ErrorCode`] the `TooManyConnections` (429)
+/// and `RequestTimeout` (408) variants, and [`ConfigResponse`] the
+/// connection-layer knobs (`max_conns`, `dispatchers`,
+/// `read_timeout_ms`, `idle_timeout_ms`). All additive, but the error
+/// body shape changed (every error now carries `retry_after_s`), so the
+/// version bumped.
+pub const SCHEMA_VERSION: u32 = 2;
 
 // ---- Requests ---------------------------------------------------------
 
@@ -261,6 +269,16 @@ pub struct ConfigResponse {
     pub deadline_ms: u64,
     /// Explanations per view in responses.
     pub top_k: usize,
+    /// Hard cap on simultaneously open connections; beyond it new
+    /// connections answer a typed 429 with `Retry-After`.
+    pub max_conns: usize,
+    /// Dispatcher threads turning parsed requests into responses.
+    pub dispatchers: usize,
+    /// Slow-loris read deadline: a partially received request older
+    /// than this answers a typed 408 and the connection closes.
+    pub read_timeout_ms: u64,
+    /// Idle keep-alive connections are closed after this long.
+    pub idle_timeout_ms: u64,
     /// Facts about the loaded model.
     pub model: ModelInfo,
 }
@@ -286,6 +304,12 @@ pub enum ErrorCode {
     ShuttingDown,
     /// Unexpected server-side failure.
     Internal,
+    /// The server is at its hard connection limit — retry after the
+    /// body's `retry_after_s` (also sent as a `Retry-After` header).
+    TooManyConnections,
+    /// The client did not deliver a complete request within the
+    /// connection's read deadline (slow-loris defence).
+    RequestTimeout,
 }
 
 impl ErrorCode {
@@ -299,6 +323,8 @@ impl ErrorCode {
             ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
             ErrorCode::DeadlineExceeded => 504,
             ErrorCode::Internal => 500,
+            ErrorCode::TooManyConnections => 429,
+            ErrorCode::RequestTimeout => 408,
         }
     }
 }
@@ -310,12 +336,22 @@ pub struct ApiError {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// When set, the client should wait this many seconds before
+    /// retrying; the server mirrors it as a `Retry-After` header. Sent
+    /// with `TooManyConnections` and `RequestTimeout`, `null` otherwise.
+    pub retry_after_s: Option<u64>,
 }
 
 impl ApiError {
     /// A new error with the given category and message.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        Self { code, message: message.into() }
+        Self { code, message: message.into(), retry_after_s: None }
+    }
+
+    /// Attaches a typed retry hint (mirrored as `Retry-After`).
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after_s = Some(seconds);
+        self
     }
 
     /// A `BadRequest` error.
@@ -327,6 +363,16 @@ impl ApiError {
     /// e.g. a prediction worker panicking past its retry budget.
     pub fn internal(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::Internal, message)
+    }
+
+    /// A `TooManyConnections` error (HTTP 429) with its retry hint.
+    pub fn too_many_connections(message: impl Into<String>, retry_after_s: u64) -> Self {
+        Self::new(ErrorCode::TooManyConnections, message).with_retry_after(retry_after_s)
+    }
+
+    /// A `RequestTimeout` error (HTTP 408) with its retry hint.
+    pub fn request_timeout(message: impl Into<String>, retry_after_s: u64) -> Self {
+        Self::new(ErrorCode::RequestTimeout, message).with_retry_after(retry_after_s)
     }
 
     /// The HTTP status of this error.
@@ -435,11 +481,46 @@ mod tests {
             "{\"pair_start\":null,\"relevance\":0.25,\"start\":3,\"text\":\"costa rica\",\"window\":4},",
             "{\"pair_start\":1,\"relevance\":0.125,\"start\":9,\"text\":\"norway\",\"window\":2}",
             "],",
-            "\"schema_version\":1,",
+            "\"schema_version\":2,",
             "\"structural\":[{\"attention\":0.5,\"label\":4,\"node\":7}]",
             "}",
         );
         assert_eq!(serde_json::to_string(&resp).unwrap(), golden);
+    }
+
+    /// Freezes the v2 error bodies: every error carries `retry_after_s`
+    /// (`null` unless the server attached a retry hint), and the two
+    /// connection-layer codes serialise with their hints. If these
+    /// bytes change, the wire format changed and `SCHEMA_VERSION` must
+    /// bump again.
+    #[test]
+    fn golden_json_freezes_v2_error_bodies() {
+        let tmc = ApiError::too_many_connections("connection limit (2) reached", 1);
+        assert_eq!(
+            serde_json::to_string(&tmc).unwrap(),
+            concat!(
+                "{\"code\":\"TooManyConnections\",",
+                "\"message\":\"connection limit (2) reached\",",
+                "\"retry_after_s\":1}",
+            ),
+        );
+        assert_eq!(tmc.status(), 429);
+        let rt = ApiError::request_timeout("request not received within 10000 ms", 1);
+        assert_eq!(
+            serde_json::to_string(&rt).unwrap(),
+            concat!(
+                "{\"code\":\"RequestTimeout\",",
+                "\"message\":\"request not received within 10000 ms\",",
+                "\"retry_after_s\":1}",
+            ),
+        );
+        assert_eq!(rt.status(), 408);
+        // Errors without a hint carry an explicit null, so the body
+        // shape is uniform across every ErrorCode.
+        assert_eq!(
+            serde_json::to_string(&ApiError::bad_request("nope")).unwrap(),
+            "{\"code\":\"BadRequest\",\"message\":\"nope\",\"retry_after_s\":null}",
+        );
     }
 
     /// The wire DTOs must serialise byte-identically to the core types
@@ -481,6 +562,10 @@ mod tests {
             cache_cap: 1024,
             deadline_ms: 5000,
             top_k: 3,
+            max_conns: 1024,
+            dispatchers: 8,
+            read_timeout_ms: 10_000,
+            idle_timeout_ms: 60_000,
             model: ModelInfo {
                 d_model: 32,
                 layers: 2,
@@ -494,7 +579,8 @@ mod tests {
         let back: ConfigResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
         assert!(json.contains("\"threads\":8"));
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"max_conns\":1024"));
+        assert!(json.contains("\"schema_version\":2"));
     }
 
     #[test]
@@ -532,6 +618,10 @@ mod tests {
         assert_eq!(ApiError::bad_request("nope").status(), 400);
         assert_eq!(ApiError::new(ErrorCode::QueueFull, "busy").status(), 503);
         assert_eq!(ApiError::new(ErrorCode::DeadlineExceeded, "late").status(), 504);
+        assert_eq!(ApiError::new(ErrorCode::TooManyConnections, "full").status(), 429);
+        assert_eq!(ApiError::new(ErrorCode::RequestTimeout, "slow").status(), 408);
+        assert_eq!(ApiError::bad_request("nope").retry_after_s, None);
+        assert_eq!(ApiError::too_many_connections("full", 2).retry_after_s, Some(2));
         let json = serde_json::to_string(&ApiError::new(ErrorCode::QueueFull, "busy")).unwrap();
         let back: ApiError = serde_json::from_str(&json).unwrap();
         assert_eq!(back.code, ErrorCode::QueueFull);

@@ -37,8 +37,12 @@ loadgen — socket-level load generator for the ExplainTI server
 
   --addr HOST:PORT      target an already-running server
   --self-host           boot an untrained in-process server (default)
+  --workers N           prediction workers for the self-hosted server (default 2)
   --mode closed|open|both   traffic shape (default closed)
   --conns N             closed-loop client connections (default 4)
+  --keep-alive          reuse one persistent connection per client instead
+                        of a fresh socket per request; responses are framed
+                        (Content-Length / chunked) and reconnects are counted
   --rates R1,R2,...     open-loop arrival rates in req/s (default 20,50)
   --duration-s S        seconds per phase (default 5)
   --repeat-frac F       fraction of requests drawn from a hot set of 8
@@ -56,8 +60,10 @@ loadgen — socket-level load generator for the ExplainTI server
 struct Args {
     addr: Option<String>,
     self_host: bool,
+    workers: usize,
     mode: String,
     conns: usize,
+    keep_alive: bool,
     rates: Vec<f64>,
     duration_s: u64,
     repeat_frac: f64,
@@ -73,8 +79,10 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: None,
         self_host: false,
+        workers: 2,
         mode: "closed".to_string(),
         conns: 4,
+        keep_alive: false,
         rates: vec![20.0, 50.0],
         duration_s: 5,
         repeat_frac: 0.3,
@@ -95,10 +103,14 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--addr" => args.addr = Some(value(&mut i)?),
             "--self-host" => args.self_host = true,
+            "--workers" => {
+                args.workers = value(&mut i)?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
             "--mode" => args.mode = value(&mut i)?,
             "--conns" => {
                 args.conns = value(&mut i)?.parse().map_err(|e| format!("--conns: {e}"))?
             }
+            "--keep-alive" => args.keep_alive = true,
             "--rates" => {
                 args.rates = value(&mut i)?
                     .split(',')
@@ -176,7 +188,8 @@ fn one_request(addr: &SocketAddr, body: &str) -> Result<(u16, u64, Option<String
     let mut stream =
         TcpStream::connect_timeout(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
     let msg = format!(
-        "POST /v1/interpret HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST /v1/interpret HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(msg.as_bytes()).map_err(|e| e.to_string())?;
@@ -199,12 +212,155 @@ fn one_request(addr: &SocketAddr, body: &str) -> Result<(u16, u64, Option<String
 fn fetch_metrics(addr: &SocketAddr) -> Option<Value> {
     let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(5)).ok()?;
     stream
-        .write_all(b"GET /v1/metrics HTTP/1.1\r\nHost: loadgen\r\nContent-Length: 0\r\n\r\n")
+        .write_all(
+            b"GET /v1/metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\
+              Content-Length: 0\r\n\r\n",
+        )
         .ok()?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw).ok()?;
     let body = raw.split_once("\r\n\r\n").map(|(_, b)| b)?;
     serde_json::from_str(body).ok()
+}
+
+/// Reads exactly one framed HTTP response off a persistent stream —
+/// `Content-Length` or chunked transfer-encoding, never read-to-EOF —
+/// leaving any pipelined leftovers in `buf` for the next call.
+/// Returns (status, trace_id, server_asked_to_close).
+fn read_framed(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> Result<(u16, Option<String>, bool), String> {
+    fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+        haystack.windows(needle.len()).position(|w| w == needle)
+    }
+    let mut fill = |buf: &mut Vec<u8>| -> Result<(), String> {
+        let mut scratch = [0u8; 8192];
+        let n = stream.read(&mut scratch).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-response".to_string());
+        }
+        buf.extend_from_slice(&scratch[..n]);
+        Ok(())
+    };
+    let head_end = loop {
+        if let Some(pos) = find(buf, b"\r\n\r\n") {
+            break pos;
+        }
+        fill(buf)?;
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    buf.drain(..head_end + 4);
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            format!("unparseable head: {:?}", head.chars().take(80).collect::<String>())
+        })?;
+    let mut trace_id = None;
+    let mut close = false;
+    let mut chunked = false;
+    let mut content_length = 0usize;
+    for line in head.lines().skip(1) {
+        let Some((k, v)) = line.split_once(':') else { continue };
+        let v = v.trim();
+        match k.trim().to_ascii_lowercase().as_str() {
+            "x-trace-id" => trace_id = Some(v.to_string()),
+            "connection" => close = v.eq_ignore_ascii_case("close"),
+            "transfer-encoding" => chunked = v.eq_ignore_ascii_case("chunked"),
+            "content-length" => content_length = v.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    if chunked {
+        loop {
+            let nl = loop {
+                if let Some(pos) = find(buf, b"\r\n") {
+                    break pos;
+                }
+                fill(buf)?;
+            };
+            let size = usize::from_str_radix(String::from_utf8_lossy(&buf[..nl]).trim(), 16)
+                .map_err(|e| format!("bad chunk size: {e}"))?;
+            buf.drain(..nl + 2);
+            // Chunk payload + CRLF; the terminal 0-chunk is followed by
+            // the final CRLF, so the same arithmetic consumes it.
+            while buf.len() < size + 2 {
+                fill(buf)?;
+            }
+            buf.drain(..size + 2);
+            if size == 0 {
+                break;
+            }
+        }
+    } else {
+        while buf.len() < content_length {
+            fill(buf)?;
+        }
+        buf.drain(..content_length);
+    }
+    Ok((status, trace_id, close))
+}
+
+/// A persistent-connection client for `--keep-alive`: one socket per
+/// client thread, framed responses, and a single fresh-socket retry
+/// when a reused connection turns out to be stale (the server may have
+/// idled it out between requests — that is recovery, not an error).
+struct KeepAliveClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    fn new(addr: SocketAddr) -> Self {
+        Self { addr, stream: None, buf: Vec::new() }
+    }
+
+    fn try_once(&mut self, body: &str) -> Result<(u16, Option<String>, bool), String> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect_timeout(&self.addr, Duration::from_secs(10))
+                .map_err(|e| e.to_string())?;
+            s.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+            self.buf.clear();
+            self.stream = Some(s);
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err("no connection".to_string());
+        };
+        let msg = format!(
+            "POST /v1/interpret HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(msg.as_bytes()).map_err(|e| e.to_string())?;
+        read_framed(stream, &mut self.buf)
+    }
+
+    /// One exchange, reusing the socket when possible. Returns the
+    /// usual (status, latency, trace) triple plus whether the exchange
+    /// rode an already-used connection.
+    fn request(&mut self, body: &str) -> Result<(u16, u64, Option<String>, bool), String> {
+        let started = Instant::now();
+        let reused = self.stream.is_some();
+        let outcome = match self.try_once(body) {
+            Ok(ok) => Ok((ok, reused)),
+            Err(_) if reused => {
+                self.stream = None;
+                self.try_once(body).map(|ok| (ok, false))
+            }
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(((status, trace_id, close), reused)) => {
+                if close {
+                    self.stream = None;
+                }
+                Ok((status, started.elapsed().as_nanos() as u64, trace_id, reused))
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
 }
 
 fn counter_of(metrics: &Value, name: &str) -> u64 {
@@ -231,10 +387,31 @@ struct PhaseStats {
     sent: AtomicU64,
     errors: AtomicU64,
     late: AtomicU64,
+    reused: AtomicU64,
+    opened: AtomicU64,
     error_traces: Mutex<Vec<String>>,
 }
 
 impl PhaseStats {
+    /// Records a keep-alive exchange, folding the reuse flag into the
+    /// connection accounting before the shared outcome bookkeeping.
+    fn record_keepalive(&self, outcome: Result<(u16, u64, Option<String>, bool), String>) {
+        match outcome {
+            Ok((status, ns, trace, reused)) => {
+                if reused {
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                    explainti_obs::add_counter("loadgen.reused", 1);
+                } else {
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                }
+                self.record(Ok((status, ns, trace)));
+            }
+            Err(e) => {
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                self.record(Err(e));
+            }
+        }
+    }
     fn record(&self, outcome: Result<(u16, u64, Option<String>), String>) {
         self.sent.fetch_add(1, Ordering::Relaxed);
         explainti_obs::add_counter("loadgen.sent", 1);
@@ -273,6 +450,8 @@ impl PhaseStats {
             "p99_ns": p99,
             "p999_ns": p999,
             "max_ns": max,
+            "connections_opened": self.opened.load(Ordering::Relaxed),
+            "reused_requests": self.reused.load(Ordering::Relaxed),
             "error_trace_ids":
                 self.error_traces.lock().unwrap_or_else(|p| p.into_inner()).clone(),
         })
@@ -336,6 +515,7 @@ fn run_closed(
     conns: usize,
     duration: Duration,
     repeat_frac: f64,
+    keep_alive: bool,
 ) -> PhaseStats {
     let stats = Arc::new(PhaseStats::default());
     let cold = Arc::new(AtomicUsize::new(0));
@@ -345,11 +525,18 @@ fn run_closed(
             let (stats, payloads, cold) =
                 (Arc::clone(&stats), Arc::clone(&payloads), Arc::clone(&cold));
             std::thread::spawn(move || {
+                let mut client = keep_alive.then(|| KeepAliveClient::new(addr));
                 let mut tick = (w as u64) << 32;
                 while Instant::now() < deadline {
                     tick += 1;
                     let body = pick_payload(&payloads, &cold, repeat_frac, tick);
-                    stats.record(one_request(&addr, body));
+                    match client.as_mut() {
+                        Some(c) => stats.record_keepalive(c.request(body)),
+                        None => {
+                            stats.opened.fetch_add(1, Ordering::Relaxed);
+                            stats.record(one_request(&addr, body));
+                        }
+                    }
                 }
             })
         })
@@ -367,6 +554,7 @@ fn run_open(
     duration: Duration,
     repeat_frac: f64,
     senders: usize,
+    keep_alive: bool,
 ) -> PhaseStats {
     let stats = Arc::new(PhaseStats::default());
     let cold = Arc::new(AtomicUsize::new(0));
@@ -377,24 +565,33 @@ fn run_open(
         .map(|_| {
             let (stats, payloads, cold, next) =
                 (Arc::clone(&stats), Arc::clone(&payloads), Arc::clone(&cold), Arc::clone(&next));
-            std::thread::spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
+            std::thread::spawn(move || {
+                let mut client = keep_alive.then(|| KeepAliveClient::new(addr));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let target = started + Duration::from_secs_f64(i as f64 / rate);
+                    let now = Instant::now();
+                    if target > now {
+                        std::thread::sleep(target - now);
+                    } else if now.saturating_duration_since(target) > Duration::from_millis(100) {
+                        // The schedule slipped: every sender is busy waiting
+                        // on the server. Record it — this is the open-loop
+                        // signal closed-loop benches hide.
+                        stats.late.fetch_add(1, Ordering::Relaxed);
+                        explainti_obs::add_counter("loadgen.late", 1);
+                    }
+                    let body = pick_payload(&payloads, &cold, repeat_frac, i);
+                    match client.as_mut() {
+                        Some(c) => stats.record_keepalive(c.request(body)),
+                        None => {
+                            stats.opened.fetch_add(1, Ordering::Relaxed);
+                            stats.record(one_request(&addr, body));
+                        }
+                    }
                 }
-                let target = started + Duration::from_secs_f64(i as f64 / rate);
-                let now = Instant::now();
-                if target > now {
-                    std::thread::sleep(target - now);
-                } else if now.saturating_duration_since(target) > Duration::from_millis(100) {
-                    // The schedule slipped: every sender is busy waiting
-                    // on the server. Record it — this is the open-loop
-                    // signal closed-loop benches hide.
-                    stats.late.fetch_add(1, Ordering::Relaxed);
-                    explainti_obs::add_counter("loadgen.late", 1);
-                }
-                let body = pick_payload(&payloads, &cold, repeat_frac, i);
-                stats.record(one_request(&addr, body));
             })
         })
         .collect();
@@ -405,7 +602,7 @@ fn run_open(
 }
 
 /// Boots an untrained in-process server on an ephemeral port.
-fn self_host() -> explainti_serve::ServerHandle {
+fn self_host(workers: usize) -> explainti_serve::ServerHandle {
     let d = generate_wiki(&WikiConfig { num_tables: 40, seed: 4242, ..Default::default() });
     let cfg = ExplainTiConfig::bert_like(2048, 32);
     let mut m = ExplainTi::new(&d, cfg);
@@ -414,7 +611,7 @@ fn self_host() -> explainti_serve::ServerHandle {
     }
     let labels = d.collection.type_labels.clone();
     let serve_cfg = ServeConfig {
-        workers: 2,
+        workers: workers.max(1),
         queue_cap: 256,
         max_batch: 8,
         cache_cap: 512,
@@ -444,8 +641,8 @@ fn main() {
             std::process::exit(2);
         }),
         None => {
-            eprintln!("[self-hosting an untrained server]");
-            let h = self_host();
+            eprintln!("[self-hosting an untrained server with {} workers]", args.workers.max(1));
+            let h = self_host(args.workers);
             let addr = h.addr();
             handle = Some(h);
             addr
@@ -509,7 +706,14 @@ fn main() {
 
     if matches!(args.mode.as_str(), "closed" | "both") {
         let before = fetch_metrics(&addr);
-        let stats = run_closed(addr, Arc::clone(&payloads), args.conns, duration, args.repeat_frac);
+        let stats = run_closed(
+            addr,
+            Arc::clone(&payloads),
+            args.conns,
+            duration,
+            args.repeat_frac,
+            args.keep_alive,
+        );
         let after = fetch_metrics(&addr);
         let mut phase = stats.summary(duration.as_secs_f64());
         let norm = stats.p99_ns() as f64 / calib_mean_ns;
@@ -517,8 +721,14 @@ fn main() {
         if let Value::Object(obj) = &mut phase {
             obj.insert("conns".into(), json!(args.conns));
             obj.insert("duration_s".into(), json!(args.duration_s));
+            obj.insert("keep_alive".into(), json!(args.keep_alive));
             obj.insert("normalized_p99".into(), json!(norm));
             if let (Some(b), Some(a)) = (&before, &after) {
+                // The server's own view of reuse, as a cross-check on
+                // the client-side reused_requests count.
+                let reused = counter_of(a, "serve.keepalive.reused")
+                    .saturating_sub(counter_of(b, "serve.keepalive.reused"));
+                obj.insert("server_keepalive_reused".into(), json!(reused));
                 let hits = counter_of(a, "serve.cache.hit")
                     .saturating_sub(counter_of(b, "serve.cache.hit"));
                 let misses = counter_of(a, "serve.cache.miss")
@@ -535,9 +745,12 @@ fn main() {
             }
         }
         eprintln!(
-            "[closed x{}: {} req, p99 {:.2} ms, normalized {:.2}]",
+            "[closed x{}{}: {} req ({} reused / {} conns), p99 {:.2} ms, normalized {:.2}]",
             args.conns,
+            if args.keep_alive { " keep-alive" } else { "" },
             phase.get("sent").and_then(Value::as_u64).unwrap_or(0),
+            stats.reused.load(Ordering::Relaxed),
+            stats.opened.load(Ordering::Relaxed),
             stats.p99_ns() as f64 / 1e6,
             norm,
         );
@@ -551,12 +764,20 @@ fn main() {
                 continue;
             }
             let senders = args.conns.max(8);
-            let stats =
-                run_open(addr, Arc::clone(&payloads), rate, duration, args.repeat_frac, senders);
+            let stats = run_open(
+                addr,
+                Arc::clone(&payloads),
+                rate,
+                duration,
+                args.repeat_frac,
+                senders,
+                args.keep_alive,
+            );
             let mut phase = stats.summary(duration.as_secs_f64());
             if let Value::Object(obj) = &mut phase {
                 obj.insert("rate_rps".into(), json!(rate));
                 obj.insert("senders".into(), json!(senders));
+                obj.insert("keep_alive".into(), json!(args.keep_alive));
                 obj.insert("normalized_p99".into(), json!(stats.p99_ns() as f64 / calib_mean_ns));
             }
             eprintln!(

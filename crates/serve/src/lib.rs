@@ -1,24 +1,36 @@
 //! # explainti-serve
 //!
-//! A dependency-free (std::net) HTTP/1.1 micro-batching inference
-//! server for ExplainTI, exposed via `explainti serve`. Three moving
+//! A dependency-free event-driven HTTP/1.1 micro-batching inference
+//! server for ExplainTI, exposed via `explainti serve`. The moving
 //! parts, each its own module:
 //!
+//! - [`event_loop`] — a raw-syscall epoll loop owning every socket:
+//!   nonblocking accept with a hard connection limit (typed 429 +
+//!   `Retry-After`), per-connection read deadlines (slow-loris → typed
+//!   408), keep-alive with pipelining, and write flushing.
+//! - [`conn`] — per-connection state machines (reading → dispatched →
+//!   writing) plus the dispatcher-side response sink, which streams
+//!   large table responses as chunked transfer-encoding.
+//! - [`http`] — an incremental buffer-based HTTP/1.1 parser and
+//!   response renderer; no socket I/O of its own.
 //! - [`queue`] — a bounded MPMC queue whose consumers drain batches;
 //!   the backpressure point (full queue → HTTP 503).
 //! - [`cache`] — an LRU cache of full responses keyed by a hash of
 //!   `(title, header, cells)`, so repeat predictions short-circuit the
 //!   model *including* their explanations.
-//! - [`server`] — the accept loop, connection handlers, worker pool,
-//!   and graceful shutdown (drain in-flight work, then stop).
+//! - [`server`] — the declarative route table, dispatcher + worker
+//!   pools, and graceful shutdown (drain in-flight work, then stop).
 //!
 //! Endpoints: `POST /v1/interpret` (a whole table or a single column,
 //! as [`explainti_api`] DTOs), `GET /v1/healthz`, `GET /v1/metrics`
-//! (the `explainti-obs` registry snapshot), `POST /v1/shutdown`.
+//! (the `explainti-obs` registry snapshot), `GET /v1/config`,
+//! `POST /v1/shutdown`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod conn;
+pub mod event_loop;
 pub mod http;
 pub mod queue;
 pub mod server;

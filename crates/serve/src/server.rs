@@ -1,37 +1,45 @@
-//! The micro-batching inference server.
+//! The micro-batching inference server behind the epoll front-end.
 //!
-//! Connection handlers parse requests into [`explainti_api`] DTOs, look
-//! each column up in the shared LRU cache, and enqueue misses as
-//! [`Job`]s on the bounded [`BatchQueue`]. A fixed pool of worker
-//! threads drains the queue in micro-batches and runs
-//! [`ExplainTi::predict_encoded_batch`] over one shared tape, so weight
-//! snapshots amortise across concurrent requests. The queue is the
-//! backpressure point: when it is full the handler answers 503 instead
-//! of buffering, and every job carries a deadline so abandoned requests
-//! are dropped rather than computed.
+//! Three thread tiers. The **event loop** ([`crate::event_loop`]) owns
+//! every socket: it accepts, enforces the connection limit (typed 429)
+//! and read deadlines (typed 408), parses requests incrementally, and
+//! flushes response bytes. Parsed requests become [`DispatchJob`]s on a
+//! bounded dispatch queue drained by the **dispatcher pool**, which runs
+//! the route handlers — including blocking waits on prediction replies —
+//! and writes rendered bytes back through [`crate::conn::ResponseSink`].
+//! Cache misses land as [`Job`]s on the prediction [`BatchQueue`],
+//! drained in micro-batches by the **worker pool** running
+//! [`ExplainTi::predict_encoded_batch`] over one shared tape.
 //!
-//! `ExplainTi`'s prediction path is `&self` and consumes no RNG, so all
-//! workers share one `Arc<ExplainTi>` with no locking — the "replica
-//! pool" degenerates to a single shared replica.
+//! The prediction queue remains the backpressure point (full queue →
+//! 503), every job carries a deadline so abandoned requests are dropped
+//! rather than computed, and table responses stream per-column as
+//! chunked transfer-encoding instead of materialising the full JSON.
+//!
+//! Routing is a declarative table ([`ROUTES`]): one `Route` per
+//! endpoint, from which both the 405 `Allow` set and the known-path
+//! list derive.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use explainti_api::{
-    ApiError, ColumnPrediction, ConfigResponse, ErrorCode, InterpretTableRequest,
-    InterpretTableResponse, ModelInfo, PredictRequest, PredictResponse, SCHEMA_VERSION,
+    ApiError, ColumnPrediction, ConfigResponse, ErrorCode, InterpretTableRequest, ModelInfo,
+    PredictRequest, PredictResponse, SCHEMA_VERSION,
 };
 use explainti_core::ExplainTi;
 use serde::Deserialize;
 use serde_json::{json, Value};
 
 use crate::cache::LruCache;
+use crate::conn::{ConnIo, ResponseSink, Waker};
+use crate::event_loop::{self, LoopCfg};
 use crate::http;
 use crate::queue::{BatchQueue, PushError};
 
@@ -63,6 +71,18 @@ pub struct ServeConfig {
     /// error rate over the trailing window, published as `serve.slo.*`
     /// gauges at metrics-scrape time.
     pub slo_window_s: u64,
+    /// Hard cap on concurrently open connections; excess connects are
+    /// answered with a typed 429 + `Retry-After` and closed.
+    pub max_conns: usize,
+    /// A connection that has started but not completed a request within
+    /// this window answers a typed 408 and closes (slow-loris defence).
+    pub read_timeout_ms: u64,
+    /// Keep-alive connections idle longer than this are closed.
+    pub idle_timeout_ms: u64,
+    /// Dispatcher threads running route handlers. `0` derives a default
+    /// from `workers` (handlers block on worker replies, so there must
+    /// be more dispatchers than workers for batching to form).
+    pub dispatchers: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +97,10 @@ impl Default for ServeConfig {
             top_k: explainti_api::DEFAULT_TOP_K,
             threads: 0,
             slo_window_s: 60,
+            max_conns: 1024,
+            read_timeout_ms: 10_000,
+            idle_timeout_ms: 60_000,
+            dispatchers: 0,
         }
     }
 }
@@ -95,10 +119,10 @@ const MAX_ATTEMPTS: u32 = 2;
 const RETRY_BACKOFF_MS: u64 = 10;
 
 /// Stage timings a worker reports back with each response so the
-/// connection handler can fold them into the request's wide event.
-/// `queue_wait` is per job; the remaining fields describe the micro-batch
-/// the job rode in (per-request events record their batch's cost — the
-/// critical path the request actually waited on — not an amortised share).
+/// dispatcher can fold them into the request's wide event. `queue_wait`
+/// is per job; the remaining fields describe the micro-batch the job
+/// rode in (per-request events record their batch's cost — the critical
+/// path the request actually waited on — not an amortised share).
 struct JobStages {
     queue_wait_ns: u64,
     batch_assembly_ns: u64,
@@ -143,13 +167,26 @@ struct Job {
     attempts: u32,
 }
 
-struct Shared {
+/// One parsed request handed from the event loop to a dispatcher.
+pub(crate) struct DispatchJob {
+    /// Event-loop connection id (the epoll token).
+    pub(crate) conn_id: u64,
+    /// The parsed request.
+    pub(crate) request: http::Request,
+    /// The connection's outbound state, for the response.
+    pub(crate) io: Arc<ConnIo>,
+    /// Wakes the event loop after each enqueue.
+    pub(crate) waker: Waker,
+}
+
+pub(crate) struct Shared {
     model: Arc<ExplainTi>,
     labels: Vec<String>,
     queue: BatchQueue<Job>,
+    /// Parsed requests awaiting a dispatcher (one in flight per conn).
+    pub(crate) dispatch: BatchQueue<DispatchJob>,
     cache: Mutex<LruCache<u64, Arc<PredictResponse>>>,
-    shutdown: Arc<AtomicBool>,
-    active_conns: AtomicUsize,
+    pub(crate) shutdown: Arc<AtomicBool>,
     top_k: usize,
     max_batch: usize,
     deadline: Duration,
@@ -369,17 +406,71 @@ fn apply_worker_stages(rtrace: &mut explainti_obs::RequestTrace, best: Option<Jo
     }
 }
 
+/// Streams a table response: the chunked head goes out with the first
+/// finished column, each subsequent column ships as its own chunk, and
+/// the tail closes the JSON. Field order (`columns`, `schema_version`,
+/// `title`) matches the vendored serde's sorted-key serialization, so
+/// the streamed bytes are identical to `serde_json::to_string` of an
+/// [`explainti_api::InterpretTableResponse`].
+fn stream_table(
+    shared: &Shared,
+    req: InterpretTableRequest,
+    deadline: Instant,
+    rtrace: &mut explainti_obs::RequestTrace,
+    sink: &mut ResponseSink,
+) -> Result<(), ApiError> {
+    // Enqueue every column before waiting on any, so one connection's
+    // table still forms a micro-batch for the workers.
+    let mut pending = Vec::with_capacity(req.columns.len());
+    for idx in 0..req.columns.len() {
+        let col = req.column_request(idx);
+        pending.push((col.header.clone(), submit_column(shared, &col, deadline, rtrace)?));
+    }
+    let mut best = None;
+    let mut ser_ns = 0u64;
+    for (idx, (header, rx)) in pending.into_iter().enumerate() {
+        // Past the first chunk the head is already on the wire: a column
+        // failure can only abort the stream (handled by the caller).
+        let (resp, stages) = await_response(&rx, deadline)?;
+        fold_worker_stages(&mut best, stages);
+        let ser_start = Instant::now();
+        let col = ColumnPrediction { header, prediction: (*resp).clone() };
+        let mut piece = String::new();
+        if idx == 0 {
+            piece.push_str("{\"columns\":[");
+        } else {
+            piece.push(',');
+        }
+        piece.push_str(&serde_json::to_string(&col).unwrap_or_default());
+        ser_ns = ser_ns.saturating_add(ns_since(ser_start, Instant::now()));
+        if idx == 0 {
+            sink.begin_stream(200, "application/json");
+        }
+        sink.stream_chunk(piece.as_bytes());
+    }
+    let tail = format!(
+        "],\"schema_version\":{SCHEMA_VERSION},\"title\":{}}}",
+        serde_json::to_string(&req.title).unwrap_or_default()
+    );
+    sink.stream_chunk(tail.as_bytes());
+    sink.end_stream();
+    apply_worker_stages(rtrace, best);
+    rtrace.add_stage("serialize", ser_ns);
+    Ok(())
+}
+
 fn handle_interpret(
     shared: &Shared,
-    body: &[u8],
+    request: &http::Request,
     rtrace: &mut explainti_obs::RequestTrace,
-) -> Result<String, ApiError> {
+    sink: &mut ResponseSink,
+) -> Result<(), ApiError> {
     let _span = explainti_obs::span!("serve.request.interpret");
     if shared.shutdown.load(Ordering::SeqCst) {
         return Err(ApiError::new(ErrorCode::ShuttingDown, "server is shutting down"));
     }
     let parse_start = Instant::now();
-    let parsed: Result<Value, ApiError> = std::str::from_utf8(body)
+    let parsed: Result<Value, ApiError> = std::str::from_utf8(&request.body)
         .map_err(|_| ApiError::bad_request("body is not valid UTF-8"))
         .and_then(|text| {
             serde_json::from_str(text).map_err(|e| ApiError::bad_request(format!("bad JSON: {e}")))
@@ -404,27 +495,7 @@ fn handle_interpret(
                 req.columns.len()
             )));
         }
-        // Enqueue every column before waiting on any, so one connection's
-        // table still forms a micro-batch for the workers.
-        let mut pending = Vec::with_capacity(req.columns.len());
-        for idx in 0..req.columns.len() {
-            let col = req.column_request(idx);
-            pending.push((col.header.clone(), submit_column(shared, &col, deadline, rtrace)?));
-        }
-        let mut columns = Vec::with_capacity(pending.len());
-        let mut best = None;
-        for (header, rx) in pending {
-            let (resp, stages) = await_response(&rx, deadline)?;
-            fold_worker_stages(&mut best, stages);
-            columns.push(ColumnPrediction { header, prediction: (*resp).clone() });
-        }
-        apply_worker_stages(rtrace, best);
-        let out =
-            InterpretTableResponse { schema_version: SCHEMA_VERSION, title: req.title, columns };
-        let ser_start = Instant::now();
-        let body = serde_json::to_string(&out).unwrap_or_default();
-        rtrace.add_stage("serialize", ns_since(ser_start, Instant::now()));
-        Ok(body)
+        stream_table(shared, req, deadline, rtrace, sink)
     } else {
         let req = PredictRequest::from_value(&value)
             .map_err(|e| ApiError::bad_request(format!("bad predict request: {e}")))?;
@@ -434,15 +505,9 @@ fn handle_interpret(
         let ser_start = Instant::now();
         let body = serde_json::to_string(&*resp).unwrap_or_default();
         rtrace.add_stage("serialize", ns_since(ser_start, Instant::now()));
-        Ok(body)
+        sink.send_json(200, &body);
+        Ok(())
     }
-}
-
-/// A successful response body plus the content type it ships with.
-enum Reply {
-    Json(String),
-    /// Prometheus text exposition.
-    Text(String),
 }
 
 /// Publishes the rolling SLO view as `serve.slo.*` gauges — called at
@@ -458,11 +523,17 @@ fn publish_slo_gauges(shared: &Shared) {
     explainti_obs::set_gauge("serve.slo.p999_ms", snap.p999_ns as f64 / 1e6);
 }
 
-fn handle_metrics(shared: &Shared, query: &str) -> Result<Reply, ApiError> {
+fn handle_metrics(
+    shared: &Shared,
+    request: &http::Request,
+    _rtrace: &mut explainti_obs::RequestTrace,
+    sink: &mut ResponseSink,
+) -> Result<(), ApiError> {
     let _span = explainti_obs::span!("serve.request.metrics");
     publish_slo_gauges(shared);
-    if query.split('&').any(|kv| kv == "format=prometheus") {
-        return Ok(Reply::Text(explainti_obs::prometheus()));
+    if request.query.split('&').any(|kv| kv == "format=prometheus") {
+        sink.send_text(200, &explainti_obs::prometheus());
+        return Ok(());
     }
     let mut summary = explainti_obs::summary();
     if let Value::Object(map) = &mut summary {
@@ -477,82 +548,167 @@ fn handle_metrics(shared: &Shared, query: &str) -> Result<Reply, ApiError> {
         }
         map.insert("failpoints".to_string(), Value::Object(hits));
     }
-    Ok(Reply::Json(serde_json::to_string(&summary).unwrap_or_default()))
+    sink.send_json(200, &serde_json::to_string(&summary).unwrap_or_default());
+    Ok(())
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_healthz(
+    shared: &Shared,
+    _request: &http::Request,
+    _rtrace: &mut explainti_obs::RequestTrace,
+    sink: &mut ResponseSink,
+) -> Result<(), ApiError> {
+    let _span = explainti_obs::span!("serve.request.healthz");
+    let degraded = shared.model.is_degraded();
+    sink.send_json(
+        200,
+        &serde_json::to_string(&json!({"degraded": degraded, "status": "ok"})).unwrap_or_default(),
+    );
+    Ok(())
+}
+
+fn handle_config(
+    shared: &Shared,
+    _request: &http::Request,
+    _rtrace: &mut explainti_obs::RequestTrace,
+    sink: &mut ResponseSink,
+) -> Result<(), ApiError> {
+    let _span = explainti_obs::span!("serve.request.config");
+    sink.send_json(200, &serde_json::to_string(&shared.config).unwrap_or_default());
+    Ok(())
+}
+
+fn handle_shutdown(
+    shared: &Shared,
+    _request: &http::Request,
+    _rtrace: &mut explainti_obs::RequestTrace,
+    sink: &mut ResponseSink,
+) -> Result<(), ApiError> {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    sink.send_json(
+        200,
+        &serde_json::to_string(&json!({"status": "shutting down"})).unwrap_or_default(),
+    );
+    Ok(())
+}
+
+// ---- Routing ----------------------------------------------------------
+
+/// A route handler: answers exactly one request through the sink. An
+/// `Err` return before the sink responded becomes a typed error body;
+/// after the head went out it aborts the stream.
+type Handler = fn(
+    &Shared,
+    &http::Request,
+    &mut explainti_obs::RequestTrace,
+    &mut ResponseSink,
+) -> Result<(), ApiError>;
+
+/// One endpoint in the declarative route table.
+struct Route {
+    method: &'static str,
+    path: &'static str,
+    /// Wide-event endpoint label.
+    name: &'static str,
+    handler: Handler,
+}
+
+/// The single source of truth for routing: the dispatcher derives both
+/// the 405 `Allow` header set and the known-path list from this table.
+const ROUTES: &[Route] = &[
+    Route { method: "POST", path: "/v1/interpret", name: "interpret", handler: handle_interpret },
+    Route { method: "GET", path: "/v1/healthz", name: "healthz", handler: handle_healthz },
+    Route { method: "GET", path: "/v1/metrics", name: "metrics", handler: handle_metrics },
+    Route { method: "GET", path: "/v1/config", name: "config", handler: handle_config },
+    Route { method: "POST", path: "/v1/shutdown", name: "shutdown", handler: handle_shutdown },
+];
+
+enum RouteMatch {
+    Found(&'static Route),
+    /// Known path, wrong method; the derived `Allow` header value.
+    WrongMethod(String),
+    Unknown,
+}
+
+fn route(method: &str, path: &str) -> RouteMatch {
+    let mut allow: Vec<&str> = Vec::new();
+    for r in ROUTES {
+        if r.path == path {
+            if r.method == method {
+                return RouteMatch::Found(r);
+            }
+            if !allow.contains(&r.method) {
+                allow.push(r.method);
+            }
+        }
+    }
+    if allow.is_empty() {
+        RouteMatch::Unknown
+    } else {
+        RouteMatch::WrongMethod(allow.join(", "))
+    }
+}
+
+// ---- Dispatcher pool --------------------------------------------------
+
+fn dispatch_loop(shared: &Shared) {
+    // Depth 1: each pop is one request; fairness across connections
+    // comes from the queue order the event loop fills.
+    while let Some(batch) = shared.dispatch.pop_batch(1) {
+        for job in batch {
+            handle_request(shared, job);
+        }
+    }
+}
+
+/// Runs one request end to end on a dispatcher thread: route, handle,
+/// record the wide event, and feed the SLO window.
+fn handle_request(shared: &Shared, job: DispatchJob) {
     let trace_id = explainti_obs::next_trace_id();
     let tid = trace_id.to_string();
     let mut rtrace = explainti_obs::RequestTrace::new(trace_id);
-    // A stalled client must not block shutdown drain forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let read_start = Instant::now();
-    let request = match http::read_request(&stream) {
-        Ok(r) => r,
-        Err(err) => {
-            rtrace.add_stage("parse", ns_since(read_start, Instant::now()));
+    rtrace.add_stage("parse", job.request.parse_ns);
+    explainti_obs::counter!("serve.requests", 1);
+    let request = job.request;
+    let mut sink =
+        ResponseSink::new(job.io, job.waker, job.conn_id, tid, request.keep_alive, request.http11);
+    let mut is_interpret = false;
+    let result: Result<(), ApiError> = match route(&request.method, &request.path) {
+        RouteMatch::Found(r) => {
+            rtrace.set_endpoint(r.name);
+            if r.name == "interpret" {
+                is_interpret = true;
+            }
+            (r.handler)(shared, &request, &mut rtrace, &mut sink)
+        }
+        RouteMatch::WrongMethod(allow) => {
+            let err = ApiError::new(ErrorCode::MethodNotAllowed, "wrong method for this endpoint");
+            sink.send_error(&err, Some(&allow));
             rtrace.set_status(err.status());
-            let _ = http::write_error_traced(&mut stream, &err, &tid);
+            rtrace.finish();
+            return;
+        }
+        RouteMatch::Unknown => {
+            let err =
+                ApiError::new(ErrorCode::NotFound, format!("no such endpoint: {}", request.path));
+            sink.send_error(&err, None);
+            rtrace.set_status(err.status());
             rtrace.finish();
             return;
         }
     };
-    rtrace.add_stage("parse", ns_since(read_start, Instant::now()));
-    explainti_obs::counter!("serve.requests", 1);
-    let mut is_interpret = false;
-    let result: Result<Reply, ApiError> = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/interpret") => {
-            rtrace.set_endpoint("interpret");
-            is_interpret = true;
-            handle_interpret(shared, &request.body, &mut rtrace).map(Reply::Json)
-        }
-        ("GET", "/v1/healthz") => {
-            let _span = explainti_obs::span!("serve.request.healthz");
-            rtrace.set_endpoint("healthz");
-            let degraded = shared.model.is_degraded();
-            Ok(Reply::Json(
-                serde_json::to_string(&json!({"degraded": degraded, "status": "ok"}))
-                    .unwrap_or_default(),
-            ))
-        }
-        ("GET", "/v1/metrics") => {
-            rtrace.set_endpoint("metrics");
-            handle_metrics(shared, &request.query)
-        }
-        ("GET", "/v1/config") => {
-            let _span = explainti_obs::span!("serve.request.config");
-            rtrace.set_endpoint("config");
-            Ok(Reply::Json(serde_json::to_string(&shared.config).unwrap_or_default()))
-        }
-        ("POST", "/v1/shutdown") => {
-            rtrace.set_endpoint("shutdown");
-            shared.shutdown.store(true, Ordering::SeqCst);
-            Ok(Reply::Json(
-                serde_json::to_string(&json!({"status": "shutting down"})).unwrap_or_default(),
-            ))
-        }
-        (
-            "POST" | "GET",
-            "/v1/interpret" | "/v1/healthz" | "/v1/metrics" | "/v1/config" | "/v1/shutdown",
-        ) => Err(ApiError::new(ErrorCode::MethodNotAllowed, "wrong method for this endpoint")),
-        (_, path) => Err(ApiError::new(ErrorCode::NotFound, format!("no such endpoint: {path}"))),
-    };
     let status = match &result {
-        Ok(_) => 200,
+        Ok(()) => sink.status(),
         Err(err) => err.status(),
     };
-    rtrace.set_status(status);
-    match result {
-        Ok(Reply::Json(body)) => {
-            let _ = http::write_json_traced(&mut stream, 200, &body, &tid);
-        }
-        Ok(Reply::Text(body)) => {
-            let _ = http::write_text_traced(&mut stream, 200, &body, &tid);
-        }
-        Err(err) => {
-            let _ = http::write_error_traced(&mut stream, &err, &tid);
+    if let Err(err) = result {
+        if sink.responded() {
+            sink.abort_stream(&err);
+        } else {
+            sink.send_error(&err, None);
         }
     }
+    rtrace.set_status(status);
     if is_interpret {
         // The SLO window tracks the paper-relevant endpoint only; 5xx
         // count as errors, client errors (4xx) do not.
@@ -569,7 +725,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    event_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -579,7 +735,7 @@ impl ServerHandle {
     }
 
     /// Requests a graceful shutdown: stop accepting, drain in-flight
-    /// connections and queued jobs, stop the workers.
+    /// connections and queued jobs, stop the dispatchers and workers.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
@@ -590,16 +746,17 @@ impl ServerHandle {
         Arc::clone(&self.shutdown)
     }
 
-    /// Blocks until the accept loop, every connection handler, and every
-    /// worker have exited. Idempotent.
+    /// Blocks until the event loop, every dispatcher, and every worker
+    /// have exited. Idempotent.
     pub fn join(&mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.event_thread.take() {
             let _ = t.join();
         }
     }
 }
 
-/// Binds the listener and spawns the accept loop plus worker pool.
+/// Binds the listener and spawns the event loop, dispatcher pool, and
+/// worker pool.
 ///
 /// `labels` are the human-readable names responses resolve label indices
 /// against (typically the corpus's `type_labels`).
@@ -609,7 +766,6 @@ pub fn start(
     cfg: ServeConfig,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
-    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
     // Mirror every failpoint trip into the obs counters so chaos drills
@@ -625,6 +781,12 @@ pub fn start(
     }
     let threads = explainti_pool::global().threads();
 
+    let max_conns = cfg.max_conns.max(1);
+    // Handlers block on worker replies, so micro-batches only form when
+    // more dispatchers than workers run concurrently.
+    let dispatchers =
+        if cfg.dispatchers > 0 { cfg.dispatchers } else { (cfg.workers.max(1) * 4).clamp(4, 64) };
+
     let enc_cfg = &model.cfg.encoder;
     let config = ConfigResponse {
         schema_version: SCHEMA_VERSION,
@@ -635,6 +797,10 @@ pub fn start(
         cache_cap: cfg.cache_cap,
         deadline_ms: cfg.deadline_ms.max(1),
         top_k: cfg.top_k.max(1),
+        max_conns,
+        dispatchers,
+        read_timeout_ms: cfg.read_timeout_ms.max(1),
+        idle_timeout_ms: cfg.idle_timeout_ms.max(1),
         model: ModelInfo {
             d_model: enc_cfg.d_model,
             layers: enc_cfg.n_layers,
@@ -650,9 +816,11 @@ pub fn start(
         model,
         labels,
         queue: BatchQueue::new(cfg.queue_cap),
+        // One in-flight request per connection bounds the dispatch
+        // queue, so size it to the connection limit.
+        dispatch: BatchQueue::new(max_conns + 16),
         cache: Mutex::new(LruCache::new(cfg.cache_cap)),
         shutdown: Arc::clone(&shutdown),
-        active_conns: AtomicUsize::new(0),
         top_k: cfg.top_k.max(1),
         max_batch: cfg.max_batch.max(1),
         deadline: Duration::from_millis(cfg.deadline_ms.max(1)),
@@ -669,49 +837,38 @@ pub fn start(
         })
         .collect::<io::Result<_>>()?;
 
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread =
-        std::thread::Builder::new().name("serve-accept".to_string()).spawn(move || {
-            accept_loop(&listener, &accept_shared);
-            // Stopped accepting; wait out in-flight connections, then let
-            // the workers drain what is already queued and exit.
-            while accept_shared.active_conns.load(Ordering::SeqCst) > 0 {
-                std::thread::sleep(Duration::from_millis(5));
+    let dispatcher_threads: Vec<JoinHandle<()>> = (0..dispatchers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-dispatch-{i}"))
+                .spawn(move || dispatch_loop(&shared))
+        })
+        .collect::<io::Result<_>>()?;
+
+    let loop_cfg = LoopCfg {
+        max_conns,
+        read_timeout: Duration::from_millis(cfg.read_timeout_ms.max(1)),
+        idle_timeout: Duration::from_millis(cfg.idle_timeout_ms.max(1)),
+    };
+    let (run_loop, _waker) = event_loop::prepare(listener, Arc::clone(&shared), loop_cfg)?;
+
+    let event_shared = Arc::clone(&shared);
+    let event_thread =
+        std::thread::Builder::new().name("serve-eventloop".to_string()).spawn(move || {
+            run_loop();
+            // The loop drained every connection (or hit the grace
+            // bound): stop the dispatchers, then let the workers drain
+            // what is already queued and exit.
+            event_shared.dispatch.close();
+            for d in dispatcher_threads {
+                let _ = d.join();
             }
-            accept_shared.queue.close();
+            event_shared.queue.close();
             for w in workers {
                 let _ = w.join();
             }
         })?;
 
-    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut conn_id = 0u64;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                conn_id += 1;
-                shared.active_conns.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("serve-conn-{conn_id}"))
-                    .spawn(move || {
-                        handle_connection(&conn_shared, stream);
-                        conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
+    Ok(ServerHandle { addr, shutdown, event_thread: Some(event_thread) })
 }

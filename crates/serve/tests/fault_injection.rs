@@ -40,7 +40,7 @@ fn tiny_model() -> (Arc<ExplainTi>, Vec<String>) {
 fn request(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let msg = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(msg.as_bytes()).unwrap();
@@ -173,6 +173,78 @@ fn slow_batch_against_tight_deadline_times_out_cleanly() {
     let (status, health) = request(&addr, "GET", "/v1/healthz", "");
     assert_eq!(status, 200);
     assert!(health.contains("\"degraded\":false"), "healthz carries the flag: {health}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn injected_accept_rejection_answers_429_and_recovers() {
+    let _g = lock();
+    faults::clear_all();
+    let (model, labels) = tiny_model();
+    let cfg = ServeConfig { workers: 1, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let addr = handle.addr();
+
+    // One forced admission failure: the very next connection is turned
+    // away with the same typed 429 a real over-limit connection gets.
+    faults::configure("serve.conn.accept", faults::Policy::Times(1));
+    let (status, body) = request(&addr, "GET", "/v1/healthz", "");
+    faults::clear_all();
+    assert_eq!(status, 429, "injected accept failure must answer 429: {body}");
+    assert!(body.contains("TooManyConnections"), "typed code expected: {body}");
+    assert!(body.contains("\"retry_after_s\":1"), "typed retry hint expected: {body}");
+    assert!(faults::hit_count("serve.conn.accept") >= 1, "the failpoint never tripped");
+
+    // The rejection is accounted for and service resumes immediately.
+    let (status, metrics) = request(&addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200, "server must admit connections once the fault clears");
+    let metrics: Value = serde_json::from_str(&metrics).unwrap();
+    let rejected = metrics
+        .get("counters")
+        .and_then(|c| c.get("serve.conns.rejected"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(rejected >= 1, "rejected-connection count missing: {metrics:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn injected_read_stall_answers_408_and_recovers() {
+    let _g = lock();
+    faults::clear_all();
+    let (model, labels) = tiny_model();
+    // Generous real deadline: only the failpoint can cause the 408.
+    let cfg = ServeConfig { workers: 1, read_timeout_ms: 60_000, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let addr = handle.addr();
+
+    // A connection with a half-sent request: the next deadline sweep
+    // that sees the partial read trips the failpoint and forces the
+    // slow-loris path without waiting out the real timeout.
+    faults::configure("serve.conn.stall", faults::Policy::Times(1));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"POST /v1/interpret HTTP/1.1\r\nContent-Length: 50\r\n\r\npartial").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    faults::clear_all();
+    let status: u16 = raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    assert_eq!(status, 408, "injected stall must answer 408: {raw}");
+    assert!(raw.contains("RequestTimeout"), "typed code expected: {raw}");
+    assert!(faults::hit_count("serve.conn.stall") >= 1, "the failpoint never tripped");
+
+    let (status, metrics) = request(&addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let metrics: Value = serde_json::from_str(&metrics).unwrap();
+    let timeouts = metrics
+        .get("counters")
+        .and_then(|c| c.get("serve.conns.timeout"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(timeouts >= 1, "timeout count missing: {metrics:?}");
 
     handle.shutdown();
     handle.join();

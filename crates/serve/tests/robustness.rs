@@ -29,8 +29,10 @@ fn tiny_model() -> (Arc<ExplainTi>, Vec<String>) {
 /// One HTTP/1.1 exchange with an arbitrary (possibly non-UTF-8) body.
 fn request_bytes(addr: &std::net::SocketAddr, path: &str, body: &[u8]) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    let head =
-        format!("POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n", body.len());
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
     stream.write_all(head.as_bytes()).unwrap();
     stream.write_all(body).unwrap();
     let mut raw = Vec::new();

@@ -30,23 +30,41 @@ fn tiny_model() -> (Arc<ExplainTi>, Vec<String>) {
     (Arc::new(m), d.collection.type_labels.clone())
 }
 
-/// One HTTP/1.1 exchange over a fresh connection.
-fn request(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let msg = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(msg.as_bytes()).unwrap();
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).unwrap();
+/// Splits a raw response into (status, body), de-chunking the body when
+/// the head advertises `Transfer-Encoding: chunked` (streamed tables).
+fn parse_response(raw: &str) -> (u16, String) {
     let status: u16 = raw
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
-    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
-    (status, body)
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw, ""));
+    let chunked = head
+        .lines()
+        .any(|l| l.to_ascii_lowercase().trim_start().starts_with("transfer-encoding: chunked"));
+    if !chunked {
+        return (status, body.to_string());
+    }
+    let mut out = Vec::new();
+    let mut rest = body.as_bytes();
+    while let Some(nl) = rest.windows(2).position(|w| w == b"\r\n") {
+        let size_line = String::from_utf8_lossy(&rest[..nl]);
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else { break };
+        if size == 0 {
+            break;
+        }
+        rest = &rest[nl + 2..];
+        assert!(rest.len() >= size + 2, "truncated chunk in {raw:?}");
+        out.extend_from_slice(&rest[..size]);
+        rest = &rest[size + 2..];
+    }
+    (status, String::from_utf8_lossy(&out).into_owned())
+}
+
+/// One HTTP/1.1 exchange over a fresh connection (`Connection: close`,
+/// so EOF delimits the response).
+fn request(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    parse_response(&request_raw(addr, method, path, body))
 }
 
 /// Like [`request`], but returns the unparsed response (headers + body)
@@ -54,7 +72,7 @@ fn request(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) ->
 fn request_raw(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let msg = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(msg.as_bytes()).unwrap();

@@ -8,6 +8,8 @@
 //! explainti evaluate  --model model-dir
 //! explainti serve     --model model-dir [--addr host:port] [--workers N] [--max-batch N]
 //!                     [--queue-cap N] [--cache-cap N] [--deadline-ms N] [--top-k N]
+//!                     [--max-conns N] [--read-timeout-ms MS] [--idle-timeout-ms MS]
+//!                     [--dispatchers N]
 //! ```
 //!
 //! Every command accepts `--trace-out <trace.jsonl>` to stream telemetry
@@ -94,7 +96,23 @@ fn all_specs() -> Vec<CommandSpec> {
                 .value("cache-cap", "N", "LRU response cache capacity (default 256)")
                 .value("deadline-ms", "MS", "per-request deadline; late → 504 (default 30000)")
                 .value("top-k", "N", "explanations per view in responses (default 3)")
-                .value("slo-window-s", "S", "sliding SLO window for serve.slo.* (default 60)"),
+                .value("slo-window-s", "S", "sliding SLO window for serve.slo.* (default 60)")
+                .value("max-conns", "N", "open-connection hard limit; over → 429 (default 1024)")
+                .value(
+                    "read-timeout-ms",
+                    "MS",
+                    "incomplete-request deadline; over → 408 (default 10000)",
+                )
+                .value(
+                    "idle-timeout-ms",
+                    "MS",
+                    "idle keep-alive connection timeout (default 60000)",
+                )
+                .value(
+                    "dispatchers",
+                    "N",
+                    "request dispatcher threads (default: derived from workers)",
+                ),
         ),
     ]
 }
@@ -291,6 +309,11 @@ fn cmd_serve(args: &Parsed) -> Result<ExitCode, String> {
         // 0 = inherit the pool `main()` already sized from `--threads`.
         threads: 0,
         slo_window_s: args.get_or("slo-window-s", 60u64).map_err(|e| e.to_string())?,
+        max_conns: args.get_or("max-conns", 1024usize).map_err(|e| e.to_string())?,
+        read_timeout_ms: args.get_or("read-timeout-ms", 10_000u64).map_err(|e| e.to_string())?,
+        idle_timeout_ms: args.get_or("idle-timeout-ms", 60_000u64).map_err(|e| e.to_string())?,
+        // 0 = derive from workers (handlers block on worker replies).
+        dispatchers: args.get_or("dispatchers", 0usize).map_err(|e| e.to_string())?,
     };
     let labels = dataset.collection.type_labels.clone();
     let mut handle = explainti::serve::start(Arc::new(model), labels, cfg)
