@@ -342,6 +342,12 @@ pub struct Conn {
     /// close as soon as that response drains (never interleave an
     /// error body into an in-progress response).
     pub poisoned: bool,
+    /// When the connection was failed terminally ([`Conn::quiesce`]):
+    /// exactly one error response goes out, inbound bytes are drained
+    /// and discarded, and no further parsing or dispatch happens. The
+    /// event loop force-closes the socket if the error response cannot
+    /// drain within a grace period (peer not reading).
+    pub failed_since: Option<Instant>,
 }
 
 impl Conn {
@@ -359,13 +365,45 @@ impl Conn {
             want_write: false,
             requests_dispatched: 0,
             poisoned: false,
+            failed_since: None,
         }
+    }
+
+    /// Terminally fails the connection: drops all inbound state so the
+    /// deadline sweep cannot re-match it and the buffer cannot grow,
+    /// and flips it into drain-and-discard reading. The caller decides
+    /// what (single) response, if any, still goes out.
+    pub fn quiesce(&mut self) {
+        self.failed_since = Some(Instant::now());
+        self.partial_since = None;
+        self.buf.clear();
+        self.pending.clear();
     }
 
     /// Reads everything the socket has, then pumps the parser: complete
     /// requests land in `pending` with their `parse_ns` stamped.
     pub fn on_readable(&mut self) -> ReadOutcome {
         let mut scratch = [0u8; READ_CHUNK];
+        if self.failed_since.is_some() {
+            // Terminal: keep level-triggered EPOLLIN quiet by draining
+            // the socket, but never buffer, parse, or answer again.
+            loop {
+                match (&self.stream).read(&mut scratch) {
+                    Ok(0) => {
+                        self.peer_closed = true;
+                        break;
+                    }
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.peer_closed = true;
+                        break;
+                    }
+                }
+            }
+            return ReadOutcome::Ok;
+        }
         loop {
             match (&self.stream).read(&mut scratch) {
                 Ok(0) => {
@@ -425,7 +463,8 @@ impl Conn {
 
     /// Whether a request is sitting half-received past `deadline_ok`.
     pub fn has_stalled_read(&self, started_before: Instant) -> bool {
-        !self.in_flight
+        self.failed_since.is_none()
+            && !self.in_flight
             && self.pending.is_empty()
             && self.partial_since.is_some_and(|t| t < started_before)
     }

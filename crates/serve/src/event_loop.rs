@@ -287,6 +287,9 @@ const TOKEN_WAKER: u64 = u64::MAX - 1;
 const TICK_MS: i32 = 50;
 /// How long a drain waits for in-flight connections before force-close.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// How long a terminally failed connection may sit with its error
+/// response undrained (peer not reading) before force-close.
+const FAIL_FLUSH_GRACE: Duration = Duration::from_secs(5);
 /// Event buffer per wait call.
 const EVENT_BATCH: usize = 256;
 
@@ -323,6 +326,10 @@ pub(crate) fn prepare(
     listener.set_nonblocking(true)?;
     let (waker_tx, waker_rx) = UnixStream::pair()?;
     waker_rx.set_nonblocking(true)?;
+    // The sender half must be nonblocking too: a full pipe has to fail
+    // the dispatcher's wake write (a pending wake-up already exists),
+    // not park the dispatcher thread on a blocking socket.
+    waker_tx.set_nonblocking(true)?;
     let waker = Waker::new(Arc::new(std::sync::Mutex::new(Default::default())), Arc::new(waker_tx));
     let ep = sys::Epoll::new()?;
     ep.add(listener.as_raw_fd(), TOKEN_LISTENER, false)?;
@@ -510,13 +517,19 @@ impl EventLoop {
         }
     }
 
-    /// Enqueues a typed error response and closes once it drains. Used
-    /// for malformed streams and read-deadline (408) expiries.
+    /// Terminally fails a connection: quiesces it (no further parsing,
+    /// buffering, or deadline re-matching), enqueues exactly one typed
+    /// error response, and closes once it drains. Used for malformed
+    /// streams and read-deadline (408) expiries.
     fn fail_conn(&mut self, id: u64, err: ApiError) {
         let Some(conn) = self.conns.get_mut(&id) else { return };
+        if conn.failed_since.is_some() {
+            // Already answered; the single error response is draining.
+            return;
+        }
+        conn.quiesce();
         if conn.in_flight {
             // A response is mid-stream; never interleave an error body.
-            conn.pending.clear();
             conn.poisoned = true;
             return;
         }
@@ -526,8 +539,6 @@ impl EventLoop {
         rtrace.set_endpoint("conn");
         rtrace.set_status(err.status());
         conn.enqueue_direct_close(http::render_error(&err, &tid, false, None));
-        // Stop parsing this connection; whatever else arrives is moot.
-        conn.pending.clear();
         rtrace.finish();
         self.advance(id);
     }
@@ -549,6 +560,7 @@ impl EventLoop {
         }
         conn.requests_dispatched += 1;
         conn.in_flight = true;
+        let keep_alive = req.keep_alive;
         let job = DispatchJob {
             conn_id: id,
             request: req,
@@ -556,15 +568,18 @@ impl EventLoop {
             waker: self.waker.clone(),
         };
         if self.shared.dispatch.push(job).is_err() {
-            // Queue full/closed: answer inline so ordering holds, then
-            // let the connection continue (the condition is transient).
+            // Queue full/closed: answer inline so ordering holds, and
+            // complete the response so the finished-response path keeps
+            // dispatching any remaining pipelined requests.
             conn.in_flight = false;
             let err = ApiError::new(explainti_api::ErrorCode::QueueFull, "dispatch queue is full");
             let trace_id = explainti_obs::next_trace_id();
             let tid = trace_id.to_string();
-            let bytes = http::render_error(&err, &tid, true, None);
+            let bytes = http::render_error(&err, &tid, keep_alive, None);
             conn.io.enqueue(bytes);
-            self.advance(id);
+            conn.io.finish_response(!keep_alive);
+            // No advance here: both callers (readable, advance's
+            // finished-response path) flush right after this returns.
         }
     }
 
@@ -615,9 +630,19 @@ impl EventLoop {
         let now = Instant::now();
         let read_cutoff = now.checked_sub(self.cfg.read_timeout).unwrap_or(now);
         let idle_cutoff = now.checked_sub(self.cfg.idle_timeout).unwrap_or(now);
+        let fail_cutoff = now.checked_sub(FAIL_FLUSH_GRACE).unwrap_or(now);
         let mut stalled: Vec<u64> = Vec::new();
         let mut idle: Vec<u64> = Vec::new();
+        let mut expired: Vec<u64> = Vec::new();
         for (id, conn) in &self.conns {
+            if let Some(failed_at) = conn.failed_since {
+                // Terminal: the only question left is whether the peer
+                // reads its error response within the grace window.
+                if failed_at < fail_cutoff {
+                    expired.push(*id);
+                }
+                continue;
+            }
             let deadline_hit = conn.has_stalled_read(read_cutoff);
             let drilled = conn.partial_since.is_some()
                 && !conn.in_flight
@@ -628,6 +653,9 @@ impl EventLoop {
             } else if conn.is_idle() && conn.idle_since < idle_cutoff {
                 idle.push(*id);
             }
+        }
+        for id in expired {
+            self.remove_conn(id);
         }
         for id in stalled {
             explainti_obs::counter!("serve.conns.timeout", 1);

@@ -122,7 +122,7 @@ pub fn parse_request(buf: &[u8]) -> Parse {
         _ => return Parse::Invalid(ApiError::bad_request("expected an HTTP/1.x request")),
     };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     // HTTP/1.1 defaults to keep-alive; 1.0 to close.
     let mut keep_alive = http11;
     let mut n_headers = 0usize;
@@ -140,16 +140,24 @@ pub fn parse_request(buf: &[u8]) -> Parse {
         let name = name.trim();
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = match value.parse() {
+            // RFC 9112 §6.1: repeated Content-Length headers (even with
+            // identical values) are rejected outright — disagreeing
+            // with a fronting proxy over body framing on a keep-alive
+            // connection is how request smuggling starts.
+            if content_length.is_some() {
+                return Parse::Invalid(ApiError::bad_request("duplicate Content-Length header"));
+            }
+            let parsed: usize = match value.parse() {
                 Ok(n) => n,
                 Err(_) => return Parse::Invalid(ApiError::bad_request("invalid Content-Length")),
             };
-            if content_length > MAX_BODY_BYTES {
+            if parsed > MAX_BODY_BYTES {
                 return Parse::Invalid(ApiError::new(
                     ErrorCode::PayloadTooLarge,
                     format!("body exceeds {MAX_BODY_BYTES} bytes"),
                 ));
             }
+            content_length = Some(parsed);
         } else if name.eq_ignore_ascii_case("connection") {
             // Token list; "close" wins over "keep-alive" if both appear.
             let mut saw_close = false;
@@ -173,7 +181,7 @@ pub fn parse_request(buf: &[u8]) -> Parse {
         }
     }
 
-    let total = head_len + content_length;
+    let total = head_len + content_length.unwrap_or(0);
     if buf.len() < total {
         return Parse::Partial;
     }
@@ -370,6 +378,22 @@ mod tests {
             Parse::Invalid(e) => assert_eq!(e.status(), 400),
             other => panic!("expected 400, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Differing values: classic smuggling vector.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nbody";
+        match parse_request(raw) {
+            Parse::Invalid(e) => assert_eq!(e.status(), 400),
+            other => panic!("expected 400, got {other:?}"),
+        }
+        // Identical repeats are rejected too (RFC 9112 §6.1).
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        assert!(matches!(parse_request(raw), Parse::Invalid(_)));
+        // Comma-folded values never parse as a single integer.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4, 4\r\n\r\nbody";
+        assert!(matches!(parse_request(raw), Parse::Invalid(_)));
     }
 
     #[test]

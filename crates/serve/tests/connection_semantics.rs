@@ -249,6 +249,42 @@ fn slow_loris_read_deadline_answers_typed_408() {
 }
 
 #[test]
+fn stalled_connection_gets_exactly_one_408_then_close() {
+    let (model, labels) = tiny_model();
+    let cfg = ServeConfig { workers: 1, read_timeout_ms: 100, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let addr = handle.addr();
+
+    // Stall past the deadline WITHOUT reading, across many sweep ticks.
+    // A quiesced connection must emit exactly one 408 and close — not
+    // re-enqueue a fresh response every 50ms tick.
+    let mut client = Client::connect(&addr);
+    client.send("POST /v1/interpret HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\nabc");
+    std::thread::sleep(Duration::from_millis(700));
+    let mut raw = Vec::new();
+    client.stream.read_to_end(&mut raw).expect("server closes after the 408");
+    let text = String::from_utf8_lossy(&raw);
+    let count_408 = text.matches("HTTP/1.1 408").count();
+    assert_eq!(count_408, 1, "expected exactly one 408, got {count_408}: {text}");
+
+    // Same for a malformed stream: one 400, then close, even if the
+    // client keeps writing garbage afterwards.
+    let mut bad = Client::connect(&addr);
+    bad.send("NOT-HTTP garbage\r\n\r\n");
+    std::thread::sleep(Duration::from_millis(300));
+    let _ = bad.stream.write_all(b"more garbage\r\n\r\n");
+    std::thread::sleep(Duration::from_millis(300));
+    let mut raw = Vec::new();
+    let _ = bad.stream.read_to_end(&mut raw);
+    let text = String::from_utf8_lossy(&raw);
+    let count_400 = text.matches("HTTP/1.1 400").count();
+    assert_eq!(count_400, 1, "expected exactly one 400, got {count_400}: {text}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn connection_limit_answers_typed_429_with_retry_after() {
     let (model, labels) = tiny_model();
     let cfg = ServeConfig { workers: 1, max_conns: 2, ..Default::default() };
