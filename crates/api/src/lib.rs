@@ -45,7 +45,16 @@ pub const DEFAULT_TOP_K: usize = 3;
 /// `read_timeout_ms`, `idle_timeout_ms`). All additive, but the error
 /// body shape changed (every error now carries `retry_after_s`), so the
 /// version bumped.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// **v3** (sharded store + hot swap): the admin surface became typed —
+/// [`SwapRequest`]/[`SwapResponse`] behind `POST /v1/admin/swap`,
+/// [`StoreStatusResponse`] behind `GET /v1/admin/store`, [`ErrorCode`]
+/// gained `SwapInProgress` (409) and `ShardUnavailable` (503),
+/// [`ModelInfo`] now carries the live `generation`, and
+/// [`ConfigResponse`] the store layout (`shards`, `replicas`,
+/// `swap_verify`). Shutdown moved to `POST /v1/admin/shutdown` (the old
+/// path answers with a `Deprecation` header).
+pub const SCHEMA_VERSION: u32 = 3;
 
 // ---- Requests ---------------------------------------------------------
 
@@ -246,6 +255,9 @@ pub struct ModelInfo {
     pub num_labels: usize,
     /// Total trainable scalar weights.
     pub num_weights: usize,
+    /// Monotonic id of the model generation answering the request; bumps
+    /// on every committed `POST /v1/admin/swap`.
+    pub generation: u64,
 }
 
 /// Effective serving knobs, reported by `GET /v1/config` so operators
@@ -279,8 +291,70 @@ pub struct ConfigResponse {
     pub read_timeout_ms: u64,
     /// Idle keep-alive connections are closed after this long.
     pub idle_timeout_ms: u64,
+    /// Number of embedding-store shards (consistent-hash partitions).
+    pub shards: usize,
+    /// Store replication factor (each sample on this many shards).
+    pub replicas: usize,
+    /// Whether a swap runs a smoke prediction on the candidate
+    /// generation before committing it.
+    pub swap_verify: bool,
     /// Facts about the loaded model.
     pub model: ModelInfo,
+}
+
+// ---- Admin ------------------------------------------------------------
+
+/// `POST /v1/admin/swap` request: hot-swap the serving model to the
+/// snapshot in `model_dir` (a directory written by `train`/`save`, with
+/// a crash-safe MANIFEST). The new generation loads in the background;
+/// in-flight requests finish on the old one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapRequest {
+    /// Model directory to load the next generation from.
+    pub model_dir: String,
+}
+
+/// `POST /v1/admin/swap` success response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapResponse {
+    /// Wire-format version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Id of the generation now serving.
+    pub generation: u64,
+    /// Id of the generation that was serving before the swap.
+    pub previous_generation: u64,
+    /// Whether the candidate passed the pre-commit smoke verification
+    /// (false when the server runs with verification disabled).
+    pub verified: bool,
+}
+
+/// Per-shard occupancy inside a [`StoreStatusResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index (consistent-hash bucket).
+    pub shard: usize,
+    /// Live embeddings stored on the shard (replicas included).
+    pub stored: usize,
+    /// Tombstoned entries awaiting compaction in the shard's index.
+    pub tombstones: usize,
+}
+
+/// `GET /v1/admin/store` response: the live generation's explanation
+/// store, shard by shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreStatusResponse {
+    /// Wire-format version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Id of the generation whose store is being reported.
+    pub generation: u64,
+    /// Per-shard sizes, shard order.
+    pub shards: Vec<ShardStatus>,
+    /// Distinct stored embeddings (replicas counted once).
+    pub stored: usize,
+    /// Total tombstones across shards.
+    pub tombstones: usize,
+    /// True while a swap is loading/verifying in the background.
+    pub swap_in_progress: bool,
 }
 
 // ---- Errors -----------------------------------------------------------
@@ -310,6 +384,12 @@ pub enum ErrorCode {
     /// The client did not deliver a complete request within the
     /// connection's read deadline (slow-loris defence).
     RequestTimeout,
+    /// A model swap is already loading or verifying — retry after the
+    /// body's `retry_after_s`.
+    SwapInProgress,
+    /// An explanation-store shard did not answer and replication could
+    /// not cover for it — retry after the body's `retry_after_s`.
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -320,11 +400,12 @@ impl ErrorCode {
             ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
             ErrorCode::PayloadTooLarge => 413,
-            ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
+            ErrorCode::QueueFull | ErrorCode::ShuttingDown | ErrorCode::ShardUnavailable => 503,
             ErrorCode::DeadlineExceeded => 504,
             ErrorCode::Internal => 500,
             ErrorCode::TooManyConnections => 429,
             ErrorCode::RequestTimeout => 408,
+            ErrorCode::SwapInProgress => 409,
         }
     }
 }
@@ -373,6 +454,16 @@ impl ApiError {
     /// A `RequestTimeout` error (HTTP 408) with its retry hint.
     pub fn request_timeout(message: impl Into<String>, retry_after_s: u64) -> Self {
         Self::new(ErrorCode::RequestTimeout, message).with_retry_after(retry_after_s)
+    }
+
+    /// A `SwapInProgress` error (HTTP 409) with its retry hint.
+    pub fn swap_in_progress(message: impl Into<String>, retry_after_s: u64) -> Self {
+        Self::new(ErrorCode::SwapInProgress, message).with_retry_after(retry_after_s)
+    }
+
+    /// A `ShardUnavailable` error (HTTP 503) with its retry hint.
+    pub fn shard_unavailable(message: impl Into<String>, retry_after_s: u64) -> Self {
+        Self::new(ErrorCode::ShardUnavailable, message).with_retry_after(retry_after_s)
     }
 
     /// The HTTP status of this error.
@@ -481,11 +572,85 @@ mod tests {
             "{\"pair_start\":null,\"relevance\":0.25,\"start\":3,\"text\":\"costa rica\",\"window\":4},",
             "{\"pair_start\":1,\"relevance\":0.125,\"start\":9,\"text\":\"norway\",\"window\":2}",
             "],",
-            "\"schema_version\":2,",
+            "\"schema_version\":3,",
             "\"structural\":[{\"attention\":0.5,\"label\":4,\"node\":7}]",
             "}",
         );
         assert_eq!(serde_json::to_string(&resp).unwrap(), golden);
+    }
+
+    /// Pins the v3 admin DTO bytes: swap and store-status payloads are
+    /// part of the frozen wire surface from the moment they ship.
+    #[test]
+    fn golden_json_freezes_v3_admin_dtos() {
+        let swap = SwapResponse {
+            schema_version: SCHEMA_VERSION,
+            generation: 2,
+            previous_generation: 1,
+            verified: true,
+        };
+        assert_eq!(
+            serde_json::to_string(&swap).unwrap(),
+            concat!(
+                "{\"generation\":2,",
+                "\"previous_generation\":1,",
+                "\"schema_version\":3,",
+                "\"verified\":true}",
+            ),
+        );
+        let status = StoreStatusResponse {
+            schema_version: SCHEMA_VERSION,
+            generation: 2,
+            shards: vec![
+                ShardStatus { shard: 0, stored: 40, tombstones: 3 },
+                ShardStatus { shard: 1, stored: 41, tombstones: 0 },
+            ],
+            stored: 81,
+            tombstones: 3,
+            swap_in_progress: false,
+        };
+        assert_eq!(
+            serde_json::to_string(&status).unwrap(),
+            concat!(
+                "{\"generation\":2,",
+                "\"schema_version\":3,",
+                "\"shards\":[",
+                "{\"shard\":0,\"stored\":40,\"tombstones\":3},",
+                "{\"shard\":1,\"stored\":41,\"tombstones\":0}",
+                "],",
+                "\"stored\":81,",
+                "\"swap_in_progress\":false,",
+                "\"tombstones\":3}",
+            ),
+        );
+        let req: SwapRequest = serde_json::from_str("{\"model_dir\":\"/models/next\"}").unwrap();
+        assert_eq!(req.model_dir, "/models/next");
+    }
+
+    /// Freezes the v3 error bodies for the two new admin codes, retry
+    /// hints included.
+    #[test]
+    fn golden_json_freezes_v3_error_bodies() {
+        let swap = ApiError::swap_in_progress("swap already loading", 2);
+        assert_eq!(
+            serde_json::to_string(&swap).unwrap(),
+            concat!(
+                "{\"code\":\"SwapInProgress\",",
+                "\"message\":\"swap already loading\",",
+                "\"retry_after_s\":2}",
+            ),
+        );
+        assert_eq!(swap.status(), 409);
+        let shard = ApiError::shard_unavailable("shard 2 unavailable", 1);
+        assert_eq!(
+            serde_json::to_string(&shard).unwrap(),
+            concat!(
+                "{\"code\":\"ShardUnavailable\",",
+                "\"message\":\"shard 2 unavailable\",",
+                "\"retry_after_s\":1}",
+            ),
+        );
+        assert_eq!(shard.status(), 503);
     }
 
     /// Freezes the v2 error bodies: every error carries `retry_after_s`
@@ -566,6 +731,9 @@ mod tests {
             dispatchers: 8,
             read_timeout_ms: 10_000,
             idle_timeout_ms: 60_000,
+            shards: 4,
+            replicas: 2,
+            swap_verify: true,
             model: ModelInfo {
                 d_model: 32,
                 layers: 2,
@@ -573,6 +741,7 @@ mod tests {
                 vocab_size: 5000,
                 num_labels: 11,
                 num_weights: 123456,
+                generation: 1,
             },
         };
         let json = serde_json::to_string(&cfg).unwrap();
@@ -580,7 +749,11 @@ mod tests {
         assert_eq!(back, cfg);
         assert!(json.contains("\"threads\":8"));
         assert!(json.contains("\"max_conns\":1024"));
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"shards\":4"));
+        assert!(json.contains("\"replicas\":2"));
+        assert!(json.contains("\"swap_verify\":true"));
+        assert!(json.contains("\"generation\":1"));
+        assert!(json.contains("\"schema_version\":3"));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod config;
 pub mod data;
 pub mod explain;
+pub mod generation;
 pub mod model;
 pub mod persist;
 pub mod store;
@@ -42,10 +43,11 @@ pub mod train;
 pub use config::{ExplainTiConfig, LeMode, LeScoring, SeAggregation, TaskKind};
 pub use data::{build_tokenizer, Sample, TaskData};
 pub use explain::{Explanation, GlobalInfluence, LocalSpan, Prediction, StructuralNeighbor};
+pub use generation::{Generation, GenerationHandle};
 pub use model::{ExplainTi, TaskState};
 pub use persist::{
     decode_weights, encode_weights, fnv1a64, Manifest, ManifestFile, PersistError, MANIFEST_NAME,
     SNAPSHOT_FORMAT_VERSION,
 };
-pub use store::EmbeddingStore;
+pub use store::{EmbeddingStore, ExplanationStore, StoreShard};
 pub use train::{EpochLog, TrainReport};

@@ -121,7 +121,7 @@ impl ExplainTi {
                 w_g: Linear::new(&mut store, "type.w_g", d, type_data.num_classes, &mut rng),
                 w_s: Linear::new(&mut store, "type.w_s", 2 * d, type_data.num_classes, &mut rng),
             },
-            q: EmbeddingStore::new(type_data.samples.len(), d),
+            q: EmbeddingStore::with_shards(d, cfg.store_shards, cfg.store_replicas),
             data: type_data,
         });
         if !dataset.collection.annotated_pairs().is_empty() {
@@ -134,7 +134,7 @@ impl ExplainTi {
                     w_g: Linear::new(&mut store, "rel.w_g", d, rel_data.num_classes, &mut rng),
                     w_s: Linear::new(&mut store, "rel.w_s", 2 * d, rel_data.num_classes, &mut rng),
                 },
-                q: EmbeddingStore::new(rel_data.samples.len(), d),
+                q: EmbeddingStore::with_shards(d, cfg.store_shards, cfg.store_replicas),
                 data: rel_data,
             });
         }
@@ -237,6 +237,25 @@ impl ExplainTi {
             }
         }
         self.tasks[task].q.rebuild_index();
+    }
+
+    /// Embeds one training sample of `task` and inserts it into the live
+    /// store without an index rebuild: the online feedback path. The
+    /// sample becomes retrievable by GE immediately (incremental HNSW
+    /// insert on every replica shard).
+    pub fn ingest_sample(&mut self, task: usize, idx: usize) {
+        let enc = self.tasks[task].data.samples[idx].encoded.clone();
+        let cls = self.encoder.embed_cls_batch(&self.store, &[enc], &mut self.rng);
+        let label = self.tasks[task].data.samples[idx].label;
+        if let Some(cls) = cls.into_iter().next() {
+            self.tasks[task].q.insert_online(idx, cls, label);
+        }
+    }
+
+    /// Evicts a sample from the store, tombstoning it in the live index
+    /// so GE stops retrieving it. Returns false when it was not stored.
+    pub fn evict_sample(&mut self, task: usize, idx: usize) -> bool {
+        self.tasks[task].q.remove(idx)
     }
 
     /// Full forward pass over one sample, producing all logits and

@@ -148,6 +148,8 @@ pub struct ResponseSink {
     /// body on [`ResponseSink::end_stream`].
     buffered: Option<Vec<u8>>,
     buffered_status: u16,
+    generation: Option<u64>,
+    deprecated: bool,
 }
 
 impl ResponseSink {
@@ -171,7 +173,19 @@ impl ResponseSink {
             streaming: false,
             buffered: None,
             buffered_status: 0,
+            generation: None,
+            deprecated: false,
         }
+    }
+
+    /// Stamps every subsequent response with `X-Model-Generation`.
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = Some(generation);
+    }
+
+    /// Marks responses from a deprecated route alias (`Deprecation: true`).
+    pub fn set_deprecated(&mut self) {
+        self.deprecated = true;
     }
 
     /// The trace id every response from this sink carries.
@@ -190,7 +204,12 @@ impl ResponseSink {
     }
 
     fn extras(&self) -> http::Extras<'_> {
-        http::Extras { trace_id: Some(&self.trace_id), ..Default::default() }
+        http::Extras {
+            trace_id: Some(&self.trace_id),
+            generation: self.generation,
+            deprecated: self.deprecated,
+            ..Default::default()
+        }
     }
 
     fn commit(&self, bytes: Vec<u8>, done: bool) {

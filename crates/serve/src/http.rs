@@ -201,6 +201,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -219,6 +220,10 @@ pub struct Extras<'a> {
     pub retry_after_s: Option<u64>,
     /// `Allow` header value for 405 responses, e.g. `"GET"`.
     pub allow: Option<&'a str>,
+    /// `X-Model-Generation` — the model generation that served the request.
+    pub generation: Option<u64>,
+    /// `Deprecation: true` — set on responses from deprecated route aliases.
+    pub deprecated: bool,
 }
 
 fn head_common(status: u16, content_type: &str, extras: &Extras<'_>, keep_alive: bool) -> String {
@@ -236,6 +241,12 @@ fn head_common(status: u16, content_type: &str, extras: &Extras<'_>, keep_alive:
         head.push_str("Allow: ");
         head.push_str(allow);
         head.push_str("\r\n");
+    }
+    if let Some(generation) = extras.generation {
+        head.push_str(&format!("X-Model-Generation: {generation}\r\n"));
+    }
+    if extras.deprecated {
+        head.push_str("Deprecation: true\r\n");
     }
     head.push_str(if keep_alive { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" });
     head
@@ -310,7 +321,12 @@ pub fn render_error(
     allow: Option<&str>,
 ) -> Vec<u8> {
     let body = error_body(err, trace_id);
-    let extras = Extras { trace_id: Some(trace_id), retry_after_s: err.retry_after_s, allow };
+    let extras = Extras {
+        trace_id: Some(trace_id),
+        retry_after_s: err.retry_after_s,
+        allow,
+        ..Default::default()
+    };
     render_full(err.status(), "application/json", &body, &extras, keep_alive)
 }
 

@@ -21,9 +21,11 @@
 //! list derive.
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -31,9 +33,10 @@ use std::time::{Duration, Instant};
 
 use explainti_api::{
     ApiError, ColumnPrediction, ConfigResponse, ErrorCode, InterpretTableRequest, ModelInfo,
-    PredictRequest, PredictResponse, SCHEMA_VERSION,
+    PredictRequest, PredictResponse, ShardStatus, StoreStatusResponse, SwapRequest, SwapResponse,
+    SCHEMA_VERSION,
 };
-use explainti_core::ExplainTi;
+use explainti_core::{ExplainTi, Generation, GenerationHandle};
 use serde::Deserialize;
 use serde_json::{json, Value};
 
@@ -83,6 +86,13 @@ pub struct ServeConfig {
     /// from `workers` (handlers block on worker replies, so there must
     /// be more dispatchers than workers for batching to form).
     pub dispatchers: usize,
+    /// Store shards per task (consistent-hash buckets); swapped-in
+    /// generations are loaded with the same layout. `1` = unsharded.
+    pub shards: usize,
+    /// Replicas per stored embedding; must satisfy `1 ≤ replicas ≤ shards`.
+    pub replicas: usize,
+    /// Smoke-verify a swap candidate with one prediction before commit.
+    pub swap_verify: bool,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +111,9 @@ impl Default for ServeConfig {
             read_timeout_ms: 10_000,
             idle_timeout_ms: 60_000,
             dispatchers: 0,
+            shards: 1,
+            replicas: 1,
+            swap_verify: true,
         }
     }
 }
@@ -157,6 +170,9 @@ fn ns_since(earlier: Instant, later: Instant) -> u64 {
 
 /// One queued column prediction.
 struct Job {
+    /// The generation the request was dispatched against: the job runs
+    /// on this model even if a swap commits while it waits in the queue.
+    gen: Arc<Generation>,
     encoded: explainti_tokenizer::Encoded,
     key: u64,
     resp_tx: mpsc::Sender<JobReply>,
@@ -180,8 +196,8 @@ pub(crate) struct DispatchJob {
 }
 
 pub(crate) struct Shared {
-    model: Arc<ExplainTi>,
-    labels: Vec<String>,
+    /// The live model generation; requests snapshot it once at dispatch.
+    generations: GenerationHandle,
     queue: BatchQueue<Job>,
     /// Parsed requests awaiting a dispatcher (one in flight per conn).
     pub(crate) dispatch: BatchQueue<DispatchJob>,
@@ -192,7 +208,15 @@ pub(crate) struct Shared {
     deadline: Duration,
     /// Rolling latency/error window behind the `serve.slo.*` gauges.
     slo: explainti_obs::SloWindow,
-    /// Effective knobs + model facts, frozen at startup for `/v1/config`.
+    /// Held (CAS) for the duration of an admin swap; a second concurrent
+    /// swap answers a typed 409 instead of queueing.
+    swap_lock: AtomicBool,
+    /// Store layout swapped-in generations are loaded with.
+    shards: usize,
+    replicas: usize,
+    swap_verify: bool,
+    /// Effective knobs, frozen at startup for `/v1/config`; the `model`
+    /// block is refreshed per request from the live generation.
     config: ConfigResponse,
 }
 
@@ -203,9 +227,12 @@ fn lock_cache(shared: &Shared) -> std::sync::MutexGuard<'_, LruCache<u64, Arc<Pr
     shared.cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Hash of the request content a cached response is keyed by.
-fn cache_key(title: &str, header: &str, cells: &[String]) -> u64 {
+/// Hash of the request content a cached response is keyed by. The
+/// generation id participates so a response computed by one model can
+/// never answer a request dispatched against another.
+fn cache_key(generation: u64, title: &str, header: &str, cells: &[String]) -> u64 {
     let mut h = DefaultHasher::new();
+    generation.hash(&mut h);
     title.hash(&mut h);
     header.hash(&mut h);
     cells.hash(&mut h);
@@ -233,87 +260,98 @@ fn worker_loop(shared: &Shared) {
         if live.is_empty() {
             continue;
         }
-        if explainti_obs::enabled() {
-            explainti_obs::registry().histogram("serve.batch.size").record(live.len() as u64);
+        // A swap mid-flight can leave jobs from two generations in one
+        // drain: group by generation id so each forward runs on the
+        // model its requests were dispatched against.
+        let mut groups: BTreeMap<u64, Vec<Job>> = BTreeMap::new();
+        for job in live {
+            groups.entry(job.gen.id).or_default().push(job);
         }
-        let _span = explainti_obs::span!("serve.batch.predict");
-        // Chaos site: a slow batch (GC pause / noisy neighbour stand-in)
-        // to exercise the deadline path without a real stall.
-        if explainti_faults::triggered("serve.batch.slow") {
-            std::thread::sleep(Duration::from_millis(50));
+        for jobs in groups.into_values() {
+            run_batch(shared, jobs, drained_at);
         }
-        let encs: Vec<explainti_tokenizer::Encoded> =
-            live.iter().map(|j| j.encoded.clone()).collect();
-        let forward_at = Instant::now();
-        let batch_assembly_ns = ns_since(drained_at, forward_at);
-        // Capture every span the forward closes — including those on
-        // kernel-pool threads, which re-install this capture around each
-        // task — so per-request wide events can attribute predict/LE/GE/SE.
-        let capture = explainti_obs::SpanCapture::new();
-        // A panicking forward (injected via `serve.worker.panic` or real)
-        // must not kill the worker: recover, re-enqueue each job within
-        // its retry budget, and answer a typed 500 past it.
-        let outcome = {
-            let _ctx = capture.install();
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                explainti_faults::panic_if_triggered("serve.worker.panic");
-                shared.model.predict_encoded_batch(&encs)
-            }))
-        };
-        match outcome {
-            Ok(preds) => {
-                let le_ns = capture.get("explain.le");
-                let ge_ns = capture.get("explain.ge");
-                let se_ns = capture.get("explain.se");
-                // Disjoint stages: predict is the batch forward net of
-                // the three explanation views, so the stage fields sum
-                // to (at most) the observed span total.
-                let predict_ns = capture
-                    .get("model.predict_batch")
-                    .saturating_sub(le_ns.saturating_add(ge_ns).saturating_add(se_ns));
-                let batch_size = live.len() as u64;
-                for (job, pred) in live.into_iter().zip(preds) {
-                    let resp = Arc::new(PredictResponse::from_prediction(
-                        &pred,
-                        &shared.labels,
-                        shared.top_k,
-                    ));
-                    lock_cache(shared).insert(job.key, Arc::clone(&resp));
-                    let stages = JobStages {
-                        queue_wait_ns: ns_since(job.enqueued_at, drained_at),
-                        batch_assembly_ns,
-                        predict_ns,
-                        le_ns,
-                        ge_ns,
-                        se_ns,
-                        batch_size,
-                    };
-                    // A closed receiver means the handler timed out.
-                    let _ = job.resp_tx.send(Ok((resp, Some(stages))));
-                }
+    }
+}
+
+/// Runs one same-generation micro-batch: forward, respond, retry.
+fn run_batch(shared: &Shared, live: Vec<Job>, drained_at: Instant) {
+    let Some(first) = live.first() else { return };
+    let gen = Arc::clone(&first.gen);
+    if explainti_obs::enabled() {
+        explainti_obs::registry().histogram("serve.batch.size").record(live.len() as u64);
+    }
+    let _span = explainti_obs::span!("serve.batch.predict");
+    // Chaos site: a slow batch (GC pause / noisy neighbour stand-in)
+    // to exercise the deadline path without a real stall.
+    if explainti_faults::triggered("serve.batch.slow") {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let encs: Vec<explainti_tokenizer::Encoded> = live.iter().map(|j| j.encoded.clone()).collect();
+    let forward_at = Instant::now();
+    let batch_assembly_ns = ns_since(drained_at, forward_at);
+    // Capture every span the forward closes — including those on
+    // kernel-pool threads, which re-install this capture around each
+    // task — so per-request wide events can attribute predict/LE/GE/SE.
+    let capture = explainti_obs::SpanCapture::new();
+    // A panicking forward (injected via `serve.worker.panic` or real)
+    // must not kill the worker: recover, re-enqueue each job within
+    // its retry budget, and answer a typed 500 past it.
+    let outcome = {
+        let _ctx = capture.install();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            explainti_faults::panic_if_triggered("serve.worker.panic");
+            gen.model.predict_encoded_batch(&encs)
+        }))
+    };
+    match outcome {
+        Ok(preds) => {
+            let le_ns = capture.get("explain.le");
+            let ge_ns = capture.get("explain.ge");
+            let se_ns = capture.get("explain.se");
+            // Disjoint stages: predict is the batch forward net of
+            // the three explanation views, so the stage fields sum
+            // to (at most) the observed span total.
+            let predict_ns = capture
+                .get("model.predict_batch")
+                .saturating_sub(le_ns.saturating_add(ge_ns).saturating_add(se_ns));
+            let batch_size = live.len() as u64;
+            for (job, pred) in live.into_iter().zip(preds) {
+                let resp =
+                    Arc::new(PredictResponse::from_prediction(&pred, &gen.labels, shared.top_k));
+                lock_cache(shared).insert(job.key, Arc::clone(&resp));
+                let stages = JobStages {
+                    queue_wait_ns: ns_since(job.enqueued_at, drained_at),
+                    batch_assembly_ns,
+                    predict_ns,
+                    le_ns,
+                    ge_ns,
+                    se_ns,
+                    batch_size,
+                };
+                // A closed receiver means the handler timed out.
+                let _ = job.resp_tx.send(Ok((resp, Some(stages))));
             }
-            Err(_) => {
-                explainti_obs::counter!("serve.worker.panics", 1);
-                for mut job in live {
-                    if job.attempts + 1 >= MAX_ATTEMPTS {
-                        explainti_obs::counter!("serve.jobs.retry_exhausted", 1);
-                        let _ = job.resp_tx.send(Err(ApiError::internal(
-                            "prediction worker panicked and the retry budget is exhausted",
-                        )));
-                        continue;
-                    }
-                    std::thread::sleep(Duration::from_millis(RETRY_BACKOFF_MS << job.attempts));
-                    job.attempts += 1;
-                    explainti_obs::counter!("serve.jobs.retried", 1);
-                    let tx = job.resp_tx.clone();
-                    if shared.queue.push(job).is_err() {
-                        // Queue full or closed mid-retry: fail loudly
-                        // rather than letting the handler hit 504.
-                        explainti_obs::counter!("serve.jobs.retry_dropped", 1);
-                        let _ = tx.send(Err(ApiError::internal(
-                            "prediction retry could not be re-enqueued",
-                        )));
-                    }
+        }
+        Err(_) => {
+            explainti_obs::counter!("serve.worker.panics", 1);
+            for mut job in live {
+                if job.attempts + 1 >= MAX_ATTEMPTS {
+                    explainti_obs::counter!("serve.jobs.retry_exhausted", 1);
+                    let _ = job.resp_tx.send(Err(ApiError::internal(
+                        "prediction worker panicked and the retry budget is exhausted",
+                    )));
+                    continue;
+                }
+                std::thread::sleep(Duration::from_millis(RETRY_BACKOFF_MS << job.attempts));
+                job.attempts += 1;
+                explainti_obs::counter!("serve.jobs.retried", 1);
+                let tx = job.resp_tx.clone();
+                if shared.queue.push(job).is_err() {
+                    // Queue full or closed mid-retry: fail loudly
+                    // rather than letting the handler hit 504.
+                    explainti_obs::counter!("serve.jobs.retry_dropped", 1);
+                    let _ = tx
+                        .send(Err(ApiError::internal("prediction retry could not be re-enqueued")));
                 }
             }
         }
@@ -326,6 +364,7 @@ fn worker_loop(shared: &Shared) {
 /// for the (possibly already-delivered) response.
 fn submit_column(
     shared: &Shared,
+    gen: &Arc<Generation>,
     req: &PredictRequest,
     deadline: Instant,
     rtrace: &mut explainti_obs::RequestTrace,
@@ -334,7 +373,7 @@ fn submit_column(
         return Err(ApiError::bad_request("column has neither header nor cells"));
     }
     rtrace.note_column();
-    let key = cache_key(&req.title, &req.header, &req.cells);
+    let key = cache_key(gen.id, &req.title, &req.header, &req.cells);
     let (tx, rx) = mpsc::channel();
     if let Some(hit) = lock_cache(shared).get(&key) {
         explainti_obs::counter!("serve.cache.hit", 1);
@@ -352,9 +391,17 @@ fn submit_column(
     }
     let cells: Vec<&str> = req.cells.iter().map(String::as_str).collect();
     let encode_start = Instant::now();
-    let encoded = shared.model.encode_ad_hoc_column(&req.title, &req.header, &cells);
+    let encoded = gen.model.encode_ad_hoc_column(&req.title, &req.header, &cells);
     rtrace.add_stage("encode", ns_since(encode_start, Instant::now()));
-    let job = Job { encoded, key, resp_tx: tx, deadline, enqueued_at: Instant::now(), attempts: 0 };
+    let job = Job {
+        gen: Arc::clone(gen),
+        encoded,
+        key,
+        resp_tx: tx,
+        deadline,
+        enqueued_at: Instant::now(),
+        attempts: 0,
+    };
     match shared.queue.push(job) {
         Ok(()) => {
             explainti_obs::set_gauge("serve.queue.depth", shared.queue.len() as f64);
@@ -414,6 +461,7 @@ fn apply_worker_stages(rtrace: &mut explainti_obs::RequestTrace, best: Option<Jo
 /// [`explainti_api::InterpretTableResponse`].
 fn stream_table(
     shared: &Shared,
+    gen: &Arc<Generation>,
     req: InterpretTableRequest,
     deadline: Instant,
     rtrace: &mut explainti_obs::RequestTrace,
@@ -424,7 +472,7 @@ fn stream_table(
     let mut pending = Vec::with_capacity(req.columns.len());
     for idx in 0..req.columns.len() {
         let col = req.column_request(idx);
-        pending.push((col.header.clone(), submit_column(shared, &col, deadline, rtrace)?));
+        pending.push((col.header.clone(), submit_column(shared, gen, &col, deadline, rtrace)?));
     }
     let mut best = None;
     let mut ser_ns = 0u64;
@@ -461,6 +509,7 @@ fn stream_table(
 
 fn handle_interpret(
     shared: &Shared,
+    gen: &Arc<Generation>,
     request: &http::Request,
     rtrace: &mut explainti_obs::RequestTrace,
     sink: &mut ResponseSink,
@@ -495,11 +544,11 @@ fn handle_interpret(
                 req.columns.len()
             )));
         }
-        stream_table(shared, req, deadline, rtrace, sink)
+        stream_table(shared, gen, req, deadline, rtrace, sink)
     } else {
         let req = PredictRequest::from_value(&value)
             .map_err(|e| ApiError::bad_request(format!("bad predict request: {e}")))?;
-        let rx = submit_column(shared, &req, deadline, rtrace)?;
+        let rx = submit_column(shared, gen, &req, deadline, rtrace)?;
         let (resp, stages) = await_response(&rx, deadline)?;
         apply_worker_stages(rtrace, stages);
         let ser_start = Instant::now();
@@ -525,6 +574,7 @@ fn publish_slo_gauges(shared: &Shared) {
 
 fn handle_metrics(
     shared: &Shared,
+    gen: &Arc<Generation>,
     request: &http::Request,
     _rtrace: &mut explainti_obs::RequestTrace,
     sink: &mut ResponseSink,
@@ -538,7 +588,7 @@ fn handle_metrics(
     let mut summary = explainti_obs::summary();
     if let Value::Object(map) = &mut summary {
         map.insert("schema_version".to_string(), json!(SCHEMA_VERSION));
-        map.insert("degraded".to_string(), json!(shared.model.is_degraded()));
+        map.insert("degraded".to_string(), json!(gen.model.is_degraded()));
         // Failpoint trip counts (empty object when no chaos drill
         // has run), so operators and the chaos-smoke CI job can
         // scrape what actually fired.
@@ -553,13 +603,14 @@ fn handle_metrics(
 }
 
 fn handle_healthz(
-    shared: &Shared,
+    _shared: &Shared,
+    gen: &Arc<Generation>,
     _request: &http::Request,
     _rtrace: &mut explainti_obs::RequestTrace,
     sink: &mut ResponseSink,
 ) -> Result<(), ApiError> {
     let _span = explainti_obs::span!("serve.request.healthz");
-    let degraded = shared.model.is_degraded();
+    let degraded = gen.model.is_degraded();
     sink.send_json(
         200,
         &serde_json::to_string(&json!({"degraded": degraded, "status": "ok"})).unwrap_or_default(),
@@ -567,19 +618,39 @@ fn handle_healthz(
     Ok(())
 }
 
+/// Facts about one generation's model, for `/v1/config` and swap logs.
+fn model_info(gen: &Generation) -> ModelInfo {
+    let enc = &gen.model.cfg.encoder;
+    ModelInfo {
+        d_model: enc.d_model,
+        layers: enc.n_layers,
+        max_seq: enc.max_seq,
+        vocab_size: gen.model.tokenizer.vocab_size(),
+        num_labels: gen.labels.len(),
+        num_weights: gen.model.num_weights(),
+        generation: gen.id,
+    }
+}
+
 fn handle_config(
     shared: &Shared,
+    gen: &Arc<Generation>,
     _request: &http::Request,
     _rtrace: &mut explainti_obs::RequestTrace,
     sink: &mut ResponseSink,
 ) -> Result<(), ApiError> {
     let _span = explainti_obs::span!("serve.request.config");
-    sink.send_json(200, &serde_json::to_string(&shared.config).unwrap_or_default());
+    // Knobs are frozen at startup; the model block follows the live
+    // generation so `/v1/config` reflects what is actually serving.
+    let mut config = shared.config.clone();
+    config.model = model_info(gen);
+    sink.send_json(200, &serde_json::to_string(&config).unwrap_or_default());
     Ok(())
 }
 
 fn handle_shutdown(
     shared: &Shared,
+    _gen: &Arc<Generation>,
     _request: &http::Request,
     _rtrace: &mut explainti_obs::RequestTrace,
     sink: &mut ResponseSink,
@@ -592,6 +663,153 @@ fn handle_shutdown(
     Ok(())
 }
 
+// ---- Admin: swap + store ----------------------------------------------
+
+/// Releases the swap lock however the swap handler exits.
+struct SwapGuard<'a>(&'a AtomicBool);
+
+impl Drop for SwapGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+/// The load → verify → commit pipeline of one swap, run under the swap
+/// lock. Returns `(previous_id, new_id, verified)`.
+fn run_swap(shared: &Shared, model_dir: &str) -> Result<(u64, u64, bool), ApiError> {
+    // LOAD — entirely off to the side; serving continues on the old
+    // generation while the snapshot is read and verified (crash-safe
+    // MANIFEST machinery: torn or tampered snapshots fail here).
+    let (model, dataset) = {
+        let _span = explainti_obs::span!("serve.swap.load");
+        if explainti_faults::triggered("serve.swap.load") {
+            return Err(ApiError::bad_request("injected swap load failure"));
+        }
+        ExplainTi::load_from_dir_with(Path::new(model_dir), shared.shards, shared.replicas)
+            .map_err(|e| ApiError::bad_request(format!("load {model_dir}: {e}")))?
+    };
+    let labels = dataset.collection.type_labels.clone();
+    let model = Arc::new(model);
+    // VERIFY — one smoke prediction through the candidate before any
+    // request can reach it; a panic (or injected failure) rejects it.
+    let verified = if shared.swap_verify {
+        let _span = explainti_obs::span!("serve.swap.verify");
+        if explainti_faults::triggered("serve.swap.verify") {
+            return Err(ApiError::bad_request("swap candidate failed verification (injected)"));
+        }
+        let smoke = Arc::clone(&model);
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let enc = smoke.encode_ad_hoc_column("swap", "verify", &["smoke"]);
+            smoke.predict_encoded_batch(&[enc]).len() == 1
+        }));
+        if !matches!(ok, Ok(true)) {
+            return Err(ApiError::bad_request("swap candidate failed smoke verification"));
+        }
+        true
+    } else {
+        false
+    };
+    // COMMIT — the only mutating step. An injected failure here proves
+    // rollback: the handle is untouched and the old generation keeps
+    // serving as if the swap never happened.
+    if explainti_faults::triggered("serve.swap.commit") {
+        return Err(ApiError::internal("swap commit failed; previous generation still serving"));
+    }
+    let (previous, id) = shared.generations.swap(model, labels);
+    // Cache keys carry the generation id, so stale cross-generation
+    // hits are impossible; the reset just drops the old generation's
+    // responses promptly instead of waiting for LRU churn.
+    *lock_cache(shared) = LruCache::new(shared.config.cache_cap);
+    Ok((previous, id, verified))
+}
+
+/// `POST /v1/admin/swap`: load a new model generation from a snapshot
+/// directory and atomically install it. In-flight requests finish on
+/// the generation they started on; the next request sees the new one.
+///
+/// Failure matrix (DESIGN.md §15): load and verify failures answer 400
+/// with the old generation untouched; a commit failure answers 500 and
+/// rolls back the same way; a concurrent swap answers a typed 409 with
+/// `retry_after_s`.
+fn handle_swap(
+    shared: &Shared,
+    _gen: &Arc<Generation>,
+    request: &http::Request,
+    _rtrace: &mut explainti_obs::RequestTrace,
+    sink: &mut ResponseSink,
+) -> Result<(), ApiError> {
+    let _span = explainti_obs::span!("serve.request.swap");
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(ApiError::new(ErrorCode::ShuttingDown, "server is shutting down"));
+    }
+    let req: SwapRequest = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("body is not valid UTF-8"))
+        .and_then(|text| {
+            serde_json::from_str(text)
+                .map_err(|e| ApiError::bad_request(format!("bad swap request: {e}")))
+        })?;
+    if shared.swap_lock.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_err() {
+        return Err(ApiError::swap_in_progress("a swap is already in flight", 2));
+    }
+    let _guard = SwapGuard(&shared.swap_lock);
+    explainti_obs::counter!("serve.swap.attempts", 1);
+    match run_swap(shared, &req.model_dir) {
+        Ok((previous_generation, generation, verified)) => {
+            explainti_obs::counter!("serve.swap.committed", 1);
+            explainti_obs::set_gauge("serve.swap.generation", generation as f64);
+            let resp = SwapResponse {
+                schema_version: SCHEMA_VERSION,
+                generation,
+                previous_generation,
+                verified,
+            };
+            sink.send_json(200, &serde_json::to_string(&resp).unwrap_or_default());
+            Ok(())
+        }
+        Err(err) => {
+            explainti_obs::counter!("serve.swap.failed", 1);
+            Err(err)
+        }
+    }
+}
+
+/// `GET /v1/admin/store`: the live generation's explanation store,
+/// shard by shard. While the `store.shard.unavailable` failpoint holds
+/// a shard down this answers a typed 503 with `retry_after_s`, the same
+/// signal `/v1/interpret` degrades around via replica failover.
+fn handle_store(
+    shared: &Shared,
+    gen: &Arc<Generation>,
+    _request: &http::Request,
+    _rtrace: &mut explainti_obs::RequestTrace,
+    sink: &mut ResponseSink,
+) -> Result<(), ApiError> {
+    let _span = explainti_obs::span!("serve.request.store");
+    let Some(task) = gen.model.tasks().first() else {
+        return Err(ApiError::internal("model has no tasks"));
+    };
+    let store = &task.q;
+    if let Some(shard) = store.probe_unavailable() {
+        return Err(ApiError::shard_unavailable(format!("shard {shard} is unavailable"), 1));
+    }
+    let shards = store
+        .shard_sizes()
+        .into_iter()
+        .enumerate()
+        .map(|(shard, (stored, tombstones))| ShardStatus { shard, stored, tombstones })
+        .collect();
+    let resp = StoreStatusResponse {
+        schema_version: SCHEMA_VERSION,
+        generation: gen.id,
+        shards,
+        stored: store.stored(),
+        tombstones: store.tombstones(),
+        swap_in_progress: shared.swap_lock.load(Ordering::SeqCst),
+    };
+    sink.send_json(200, &serde_json::to_string(&resp).unwrap_or_default());
+    Ok(())
+}
+
 // ---- Routing ----------------------------------------------------------
 
 /// A route handler: answers exactly one request through the sink. An
@@ -599,6 +817,7 @@ fn handle_shutdown(
 /// after the head went out it aborts the stream.
 type Handler = fn(
     &Shared,
+    &Arc<Generation>,
     &http::Request,
     &mut explainti_obs::RequestTrace,
     &mut ResponseSink,
@@ -611,16 +830,24 @@ struct Route {
     /// Wide-event endpoint label.
     name: &'static str,
     handler: Handler,
+    /// Pre-v3 alias kept for compatibility; responses carry
+    /// `Deprecation: true` so clients can migrate before v4 drops it.
+    deprecated: bool,
 }
 
 /// The single source of truth for routing: the dispatcher derives both
 /// the 405 `Allow` header set and the known-path list from this table.
+#[rustfmt::skip]
 const ROUTES: &[Route] = &[
-    Route { method: "POST", path: "/v1/interpret", name: "interpret", handler: handle_interpret },
-    Route { method: "GET", path: "/v1/healthz", name: "healthz", handler: handle_healthz },
-    Route { method: "GET", path: "/v1/metrics", name: "metrics", handler: handle_metrics },
-    Route { method: "GET", path: "/v1/config", name: "config", handler: handle_config },
-    Route { method: "POST", path: "/v1/shutdown", name: "shutdown", handler: handle_shutdown },
+    Route { method: "POST", path: "/v1/interpret", name: "interpret", handler: handle_interpret, deprecated: false },
+    Route { method: "GET", path: "/v1/healthz", name: "healthz", handler: handle_healthz, deprecated: false },
+    Route { method: "GET", path: "/v1/metrics", name: "metrics", handler: handle_metrics, deprecated: false },
+    Route { method: "GET", path: "/v1/config", name: "config", handler: handle_config, deprecated: false },
+    Route { method: "POST", path: "/v1/admin/swap", name: "swap", handler: handle_swap, deprecated: false },
+    Route { method: "GET", path: "/v1/admin/store", name: "store", handler: handle_store, deprecated: false },
+    Route { method: "POST", path: "/v1/admin/shutdown", name: "shutdown", handler: handle_shutdown, deprecated: false },
+    // v2 location of shutdown; same handler, flagged deprecated.
+    Route { method: "POST", path: "/v1/shutdown", name: "shutdown", handler: handle_shutdown, deprecated: true },
 ];
 
 enum RouteMatch {
@@ -672,14 +899,22 @@ fn handle_request(shared: &Shared, job: DispatchJob) {
     let request = job.request;
     let mut sink =
         ResponseSink::new(job.io, job.waker, job.conn_id, tid, request.keep_alive, request.http11);
+    // One generation snapshot per request: every byte of this response —
+    // prediction, labels, config block, `X-Model-Generation` header —
+    // comes from the same generation even if a swap commits mid-request.
+    let gen = shared.generations.current();
+    sink.set_generation(gen.id);
     let mut is_interpret = false;
     let result: Result<(), ApiError> = match route(&request.method, &request.path) {
         RouteMatch::Found(r) => {
             rtrace.set_endpoint(r.name);
+            if r.deprecated {
+                sink.set_deprecated();
+            }
             if r.name == "interpret" {
                 is_interpret = true;
             }
-            (r.handler)(shared, &request, &mut rtrace, &mut sink)
+            (r.handler)(shared, &gen, &request, &mut rtrace, &mut sink)
         }
         RouteMatch::WrongMethod(allow) => {
             let err = ApiError::new(ErrorCode::MethodNotAllowed, "wrong method for this endpoint");
@@ -765,6 +1000,14 @@ pub fn start(
     labels: Vec<String>,
     cfg: ServeConfig,
 ) -> io::Result<ServerHandle> {
+    let shards = cfg.shards.max(1);
+    let replicas = cfg.replicas.max(1);
+    if replicas > shards {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("replicas ({replicas}) must not exceed shards ({shards})"),
+        ));
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
 
@@ -787,7 +1030,9 @@ pub fn start(
     let dispatchers =
         if cfg.dispatchers > 0 { cfg.dispatchers } else { (cfg.workers.max(1) * 4).clamp(4, 64) };
 
-    let enc_cfg = &model.cfg.encoder;
+    let generations = GenerationHandle::new(model, labels);
+    let boot = generations.current();
+    explainti_obs::set_gauge("serve.swap.generation", boot.id as f64);
     let config = ConfigResponse {
         schema_version: SCHEMA_VERSION,
         workers: cfg.workers,
@@ -801,20 +1046,16 @@ pub fn start(
         dispatchers,
         read_timeout_ms: cfg.read_timeout_ms.max(1),
         idle_timeout_ms: cfg.idle_timeout_ms.max(1),
-        model: ModelInfo {
-            d_model: enc_cfg.d_model,
-            layers: enc_cfg.n_layers,
-            max_seq: enc_cfg.max_seq,
-            vocab_size: model.tokenizer.vocab_size(),
-            num_labels: labels.len(),
-            num_weights: model.num_weights(),
-        },
+        shards,
+        replicas,
+        swap_verify: cfg.swap_verify,
+        model: model_info(&boot),
     };
+    drop(boot);
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let shared = Arc::new(Shared {
-        model,
-        labels,
+        generations,
         queue: BatchQueue::new(cfg.queue_cap),
         // One in-flight request per connection bounds the dispatch
         // queue, so size it to the connection limit.
@@ -825,6 +1066,10 @@ pub fn start(
         max_batch: cfg.max_batch.max(1),
         deadline: Duration::from_millis(cfg.deadline_ms.max(1)),
         slo: explainti_obs::SloWindow::new(cfg.slo_window_s.max(1)),
+        swap_lock: AtomicBool::new(false),
+        shards,
+        replicas,
+        swap_verify: cfg.swap_verify,
         config,
     });
 

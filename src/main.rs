@@ -9,7 +9,7 @@
 //! explainti serve     --model model-dir [--addr host:port] [--workers N] [--max-batch N]
 //!                     [--queue-cap N] [--cache-cap N] [--deadline-ms N] [--top-k N]
 //!                     [--max-conns N] [--read-timeout-ms MS] [--idle-timeout-ms MS]
-//!                     [--dispatchers N]
+//!                     [--dispatchers N] [--shards N] [--replicas N] [--no-swap-verify]
 //! ```
 //!
 //! Every command accepts `--trace-out <trace.jsonl>` to stream telemetry
@@ -112,7 +112,10 @@ fn all_specs() -> Vec<CommandSpec> {
                     "dispatchers",
                     "N",
                     "request dispatcher threads (default: derived from workers)",
-                ),
+                )
+                .value("shards", "N", "explanation-store shards per task (default 1)")
+                .value("replicas", "N", "replicas per stored embedding, 1..=shards (default 1)")
+                .switch("no-swap-verify", "skip the smoke prediction before a swap commits"),
         ),
     ]
 }
@@ -297,7 +300,17 @@ fn install_ctrl_c_flag() {
 fn install_ctrl_c_flag() {}
 
 fn cmd_serve(args: &Parsed) -> Result<ExitCode, String> {
-    let (model, dataset) = load_model(args)?;
+    let shards = args.get_or("shards", 1usize).map_err(|e| e.to_string())?;
+    let replicas = args.get_or("replicas", 1usize).map_err(|e| e.to_string())?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    if replicas == 0 || replicas > shards {
+        return Err(format!("--replicas must be in 1..={shards} (got {replicas})"));
+    }
+    let dir = PathBuf::from(args.get("model").expect("required"));
+    let (model, dataset) = ExplainTi::load_from_dir_with(&dir, shards, replicas)
+        .map_err(|e| format!("load model from {dir:?}: {e}"))?;
     let cfg = explainti::serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7431").to_string(),
         workers: args.get_or("workers", 2usize).map_err(|e| e.to_string())?,
@@ -314,13 +327,17 @@ fn cmd_serve(args: &Parsed) -> Result<ExitCode, String> {
         idle_timeout_ms: args.get_or("idle-timeout-ms", 60_000u64).map_err(|e| e.to_string())?,
         // 0 = derive from workers (handlers block on worker replies).
         dispatchers: args.get_or("dispatchers", 0usize).map_err(|e| e.to_string())?,
+        shards,
+        replicas,
+        swap_verify: !args.is_set("no-swap-verify"),
     };
     let labels = dataset.collection.type_labels.clone();
     let mut handle = explainti::serve::start(Arc::new(model), labels, cfg)
         .map_err(|e| format!("bind server: {e}"))?;
     println!(
         "listening on http://{} — POST /v1/interpret, GET /v1/healthz, GET /v1/metrics, \
-         POST /v1/shutdown (Ctrl-C drains gracefully)",
+         POST /v1/admin/swap, GET /v1/admin/store, POST /v1/admin/shutdown \
+         (Ctrl-C drains gracefully)",
         handle.addr()
     );
     install_ctrl_c_flag();
