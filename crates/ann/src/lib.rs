@@ -30,25 +30,15 @@ pub enum Metric {
 
 impl Metric {
     /// Similarity between two vectors — larger is closer for both metrics.
+    ///
+    /// Cosine routes through the runtime-dispatched SIMD kernel
+    /// ([`explainti_nn::simd::cosine`]); every dispatch arm is bitwise
+    /// equal to the 8-lane scalar reference, so index contents and
+    /// retrieval order stay byte-identical across hosts and tiers.
     pub fn similarity(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         match self {
-            Metric::Cosine => {
-                let mut dot = 0.0f32;
-                let mut na = 0.0f32;
-                let mut nb = 0.0f32;
-                for (&x, &y) in a.iter().zip(b) {
-                    dot += x * y;
-                    na += x * x;
-                    nb += y * y;
-                }
-                let denom = na.sqrt() * nb.sqrt();
-                if denom <= f32::EPSILON {
-                    0.0
-                } else {
-                    dot / denom
-                }
-            }
+            Metric::Cosine => explainti_nn::simd::cosine(a, b),
             Metric::Euclidean => {
                 let mut d = 0.0f32;
                 for (&x, &y) in a.iter().zip(b) {

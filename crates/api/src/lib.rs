@@ -54,7 +54,13 @@ pub const DEFAULT_TOP_K: usize = 3;
 /// [`ConfigResponse`] the store layout (`shards`, `replicas`,
 /// `swap_verify`). Shutdown moved to `POST /v1/admin/shutdown` (the old
 /// path answers with a `Deprecation` header).
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// **v4** (int8 quantized inference): [`ConfigResponse`] gained
+/// `quantized`, reporting whether the server runs the encoder forward
+/// and GE similarity on the int8 symmetric-quantized path
+/// (`serve --quantized`). Additive, but the `/v1/config` body shape
+/// changed, so the version bumped.
+pub const SCHEMA_VERSION: u32 = 4;
 
 // ---- Requests ---------------------------------------------------------
 
@@ -298,6 +304,9 @@ pub struct ConfigResponse {
     /// Whether a swap runs a smoke prediction on the candidate
     /// generation before committing it.
     pub swap_verify: bool,
+    /// Whether inference runs on the int8 symmetric-quantized path
+    /// (encoder forward + GE similarity); training output is always f32.
+    pub quantized: bool,
     /// Facts about the loaded model.
     pub model: ModelInfo,
 }
@@ -572,7 +581,7 @@ mod tests {
             "{\"pair_start\":null,\"relevance\":0.25,\"start\":3,\"text\":\"costa rica\",\"window\":4},",
             "{\"pair_start\":1,\"relevance\":0.125,\"start\":9,\"text\":\"norway\",\"window\":2}",
             "],",
-            "\"schema_version\":3,",
+            "\"schema_version\":4,",
             "\"structural\":[{\"attention\":0.5,\"label\":4,\"node\":7}]",
             "}",
         );
@@ -594,7 +603,7 @@ mod tests {
             concat!(
                 "{\"generation\":2,",
                 "\"previous_generation\":1,",
-                "\"schema_version\":3,",
+                "\"schema_version\":4,",
                 "\"verified\":true}",
             ),
         );
@@ -613,7 +622,7 @@ mod tests {
             serde_json::to_string(&status).unwrap(),
             concat!(
                 "{\"generation\":2,",
-                "\"schema_version\":3,",
+                "\"schema_version\":4,",
                 "\"shards\":[",
                 "{\"shard\":0,\"stored\":40,\"tombstones\":3},",
                 "{\"shard\":1,\"stored\":41,\"tombstones\":0}",
@@ -734,6 +743,7 @@ mod tests {
             shards: 4,
             replicas: 2,
             swap_verify: true,
+            quantized: true,
             model: ModelInfo {
                 d_model: 32,
                 layers: 2,
@@ -752,8 +762,9 @@ mod tests {
         assert!(json.contains("\"shards\":4"));
         assert!(json.contains("\"replicas\":2"));
         assert!(json.contains("\"swap_verify\":true"));
+        assert!(json.contains("\"quantized\":true"));
         assert!(json.contains("\"generation\":1"));
-        assert!(json.contains("\"schema_version\":3"));
+        assert!(json.contains("\"schema_version\":4"));
     }
 
     #[test]

@@ -1,24 +1,33 @@
-//! Kernel microbench — times the blocked matmul kernels and the batched
-//! CLS-embedding path at 1 thread vs N threads, writes
-//! `BENCH_kernels.json`, and **exits non-zero if the parallel results
-//! diverge from the serial ones** (they are designed to be
-//! byte-identical, so any divergence is a kernel bug, not noise).
+//! Kernel microbench — times four matmul arms per shape (naive,
+//! forced-scalar packed, runtime-dispatched SIMD, int8 quantized) plus
+//! the batched CLS-embedding path at 1 thread vs N threads, writes
+//! `BENCH_kernels.json`, and **exits non-zero** when
 //!
-//! The speedup numbers are honest: `available_parallelism` is recorded
-//! alongside them, and on a single-core container the parallel runs are
-//! expected to show overhead, not gains — CI's `bench-smoke` job runs
-//! this on a multi-core runner where the ≥2× target is measurable.
+//! - the parallel results diverge bytewise from the serial ones,
+//! - the SIMD arm's bytes differ from the forced-scalar fallback's
+//!   (they are designed bitwise-equal — divergence is a kernel bug), or
+//! - the host dispatches AVX2 but `simd_speedup` (forced-scalar time
+//!   over SIMD time, serial) lands under 1.2× on the two largest shapes.
+//!
+//! The JSON records which dispatch tier (`avx2`/`neon`/`scalar`)
+//! actually ran, so a flat speedup on a scalar-only container is
+//! interpretable from the artifact alone rather than alarming.
 
 use explainti_bench::{write_json, MAX_SEQ, VOCAB_CAP};
 use explainti_core::{build_tokenizer, TaskData};
 use explainti_corpus::{generate_wiki, WikiConfig};
 use explainti_encoder::{EncoderConfig, TransformerEncoder};
-use explainti_nn::{ParamStore, Tensor};
+use explainti_nn::simd::{self, SimdTier};
+use explainti_nn::{qmatmul_into, ParamStore, QuantizedMatrix, Tensor};
 use explainti_pool::ThreadPool;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
 use std::time::Instant;
+
+/// The forced-scalar / SIMD speedup floor enforced on AVX2 hosts, on
+/// the gate shapes (the two largest).
+const SIMD_SPEEDUP_FLOOR: f64 = 1.2;
 
 /// Best-of-`reps` wall time in milliseconds.
 fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -36,39 +45,65 @@ fn random_tensor(rows: usize, cols: usize, rng: &mut SmallRng) -> Tensor {
     Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
 }
 
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     // Benchmark the width CI cares about even on narrower machines; the
     // JSON records both numbers so a 1-core container's "speedup" of
     // < 1 is interpretable rather than alarming.
     let par_threads = cores.max(4);
-    println!("kernel microbench — 1 thread vs {par_threads} ({cores} cores available)");
+    simd::reset_tier();
+    let tier = simd::tier();
+    println!(
+        "kernel microbench — dispatch tier {} — 1 thread vs {par_threads} ({cores} cores)",
+        tier.name()
+    );
 
     let pool1 = ThreadPool::new(1);
     let pool_n = ThreadPool::new(par_threads);
     let mut rng = SmallRng::seed_from_u64(0xbe9c);
-    let mut diverged = false;
+    let mut failed = false;
 
-    // -- Blocked matmul ---------------------------------------------------
+    // -- Matmul arms ------------------------------------------------------
     // Several shapes so a flat speedup is diagnosable from the artifact
     // alone: ns/flop separates "kernel got slower" from "problem too
-    // small to amortise fan-out", and thread efficiency (speedup over
-    // thread count) shows how far from linear the scaling sits.
+    // small to amortise fan-out". The last GATE_SHAPES entries carry the
+    // AVX2 speedup floor.
+    const SHAPES: [(usize, usize, usize); 3] = [(96, 128, 96), (192, 256, 192), (384, 256, 384)];
+    const GATE_SHAPES: usize = 2;
     let mut matmul_shapes = Vec::new();
-    for (m, k, n) in [(96usize, 128usize, 96usize), (192, 256, 192), (384, 256, 384)] {
+    for (which, &(m, k, n)) in SHAPES.iter().enumerate() {
         let a = random_tensor(m, k, &mut rng);
         let b = random_tensor(k, n, &mut rng);
+
         let (naive_ms, reference) = time_ms(5, || a.matmul_naive(&b));
-        let (serial_ms, serial) = time_ms(5, || a.matmul_in(&b, &pool1));
+        simd::force_tier(SimdTier::Scalar);
+        let (scalar_ms, scalar_out) = time_ms(5, || a.matmul_in(&b, &pool1));
+        simd::force_tier(tier);
+        let (simd_ms, serial) = time_ms(5, || a.matmul_in(&b, &pool1));
         let (parallel_ms, parallel) = time_ms(5, || a.matmul_in(&b, &pool_n));
-        if serial
-            .as_slice()
-            .iter()
-            .zip(parallel.as_slice())
-            .any(|(x, y)| x.to_bits() != y.to_bits())
-        {
+        simd::reset_tier();
+
+        // int8 arm: weights quantized once (as serving does), activations
+        // per call.
+        let wt = QuantizedMatrix::from_tensor_transposed(&b);
+        let mut xq = vec![0i8; k.max(1)];
+        let mut qout = vec![0.0f32; m * n];
+        let (quant_ms, ()) = time_ms(5, || qmatmul_into(&a, &wt, None, &mut xq, &mut qout));
+
+        if !bits_equal(&serial, &parallel) {
             eprintln!("FAIL: parallel matmul {m}x{k}x{n} diverges from serial");
-            diverged = true;
+            failed = true;
+        }
+        if !bits_equal(&serial, &scalar_out) {
+            eprintln!(
+                "FAIL: {} matmul {m}x{k}x{n} is not bitwise-equal to the scalar fallback",
+                tier.name()
+            );
+            failed = true;
         }
         let worst_err = serial
             .as_slice()
@@ -77,28 +112,58 @@ fn main() {
             .map(|(x, y)| (x - y).abs())
             .fold(0.0f32, f32::max);
         if worst_err > 1e-3 {
-            eprintln!("FAIL: blocked matmul drifts from the naive reference by {worst_err}");
-            diverged = true;
+            eprintln!("FAIL: packed matmul drifts from the naive reference by {worst_err}");
+            failed = true;
         }
+        let quant_err = qout
+            .iter()
+            .zip(reference.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        // Per-row int8 on K≤256 reductions of [-1,1) values: ~0.05 abs.
+        if quant_err > 0.25 {
+            eprintln!("FAIL: quantized matmul drifts from the reference by {quant_err}");
+            failed = true;
+        }
+
         let flops = 2.0 * m as f64 * k as f64 * n as f64;
-        let speedup = serial_ms / parallel_ms;
+        let simd_speedup = scalar_ms / simd_ms;
+        let naive_speedup = naive_ms / simd_ms;
+        let par_speedup = simd_ms / parallel_ms;
+        let gated = which + GATE_SHAPES >= SHAPES.len();
+        if gated && tier == SimdTier::Avx2 && simd_speedup < SIMD_SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: avx2 simd_speedup {simd_speedup:.2}x < {SIMD_SPEEDUP_FLOOR}x \
+                 on gate shape {m}x{k}x{n}"
+            );
+            failed = true;
+        }
         println!(
-            "matmul {m}x{k}x{n}:  naive {naive_ms:.2} ms | blocked@1 {serial_ms:.2} ms | \
-             blocked@{par_threads} {parallel_ms:.2} ms | speedup {speedup:.2}x | \
-             eff {:.2}",
-            speedup / par_threads as f64
+            "matmul {m}x{k}x{n}:  naive {naive_ms:.2} ms | scalar@1 {scalar_ms:.2} ms | \
+             {}@1 {simd_ms:.2} ms | {}@{par_threads} {parallel_ms:.2} ms | int8 {quant_ms:.2} ms \
+             | simd {simd_speedup:.2}x | vs-naive {naive_speedup:.2}x",
+            tier.name(),
+            tier.name()
         );
         matmul_shapes.push(json!({
             "shape": json!([m, k, n]),
             "flops": flops,
+            "dispatch_tier": tier.name(),
             "naive_ms": naive_ms,
-            "blocked_serial_ms": serial_ms,
-            "blocked_parallel_ms": parallel_ms,
+            "scalar_serial_ms": scalar_ms,
+            "simd_serial_ms": simd_ms,
+            "simd_parallel_ms": parallel_ms,
+            "quantized_ms": quant_ms,
             "ns_per_flop_naive": naive_ms * 1e6 / flops,
-            "ns_per_flop_serial": serial_ms * 1e6 / flops,
-            "ns_per_flop_parallel": parallel_ms * 1e6 / flops,
-            "speedup": speedup,
-            "thread_efficiency": speedup / par_threads as f64,
+            "ns_per_flop_scalar": scalar_ms * 1e6 / flops,
+            "ns_per_flop_simd": simd_ms * 1e6 / flops,
+            "simd_speedup": simd_speedup,
+            "simd_speedup_vs_naive": naive_speedup,
+            "quantized_speedup_vs_naive": naive_ms / quant_ms,
+            "parallel_speedup": par_speedup,
+            "thread_efficiency": par_speedup / par_threads as f64,
+            "quantized_max_abs_err": quant_err,
+            "speedup_gated": gated,
         }));
     }
 
@@ -121,7 +186,7 @@ fn main() {
     explainti_pool::configure(explainti_pool::Threads::resolve(None).get());
     if embeds_serial != embeds_parallel {
         eprintln!("FAIL: parallel embed_cls_batch diverges from serial");
-        diverged = true;
+        failed = true;
     }
     let embed_speedup = embed_serial_ms / embed_parallel_ms;
     println!(
@@ -132,6 +197,8 @@ fn main() {
     let summary = json!({
         "available_parallelism": cores,
         "threads_parallel": par_threads,
+        "dispatch_tier": tier.name(),
+        "simd_speedup_floor": SIMD_SPEEDUP_FLOOR,
         "matmul": json!(matmul_shapes),
         "embed_cls_batch": json!({
             "batch": batch,
@@ -141,7 +208,7 @@ fn main() {
             "speedup": embed_speedup,
             "thread_efficiency": embed_speedup / par_threads as f64,
         }),
-        "parallel_matches_serial": !diverged,
+        "parallel_matches_serial": !failed,
     });
     write_json("BENCH_kernels", &summary);
     if let Ok(text) = serde_json::to_string_pretty(&summary) {
@@ -149,7 +216,7 @@ fn main() {
         eprintln!("[saved \"BENCH_kernels.json\"]");
     }
 
-    if diverged {
+    if failed {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,210 @@
+//! Golden tolerance suite for the int8 quantized inference path.
+//!
+//! Unlike `golden_explanations` (which pins the f32 path bitwise), the
+//! quantized path is *approximate by construction*: per-row symmetric
+//! int8 weights and activations, i32 accumulation, f32 dequantisation.
+//! Its contract is therefore two-sided:
+//!
+//! 1. **Pinned bytes** — the quantized pipeline is still deterministic,
+//!    so its own outputs are blessed bitwise into
+//!    `tests/golden/quantized.json` and must not drift between commits.
+//! 2. **Tolerance vs f32** — on the seed corpus the quantized
+//!    probabilities stay within `1e-2` max-abs of the f32 twin, top-1
+//!    type/relation predictions agree, and split accuracy drops no more
+//!    than 0.5 points (the Table V error-budget argument, DESIGN.md §16).
+//!
+//! Re-bless after an intentional change:
+//!
+//! ```text
+//! EXPLAINTI_BLESS=1 cargo test -p explainti-core --test quantized_golden
+//! git diff crates/core/tests/golden/quantized.json  # review!
+//! ```
+
+use explainti_core::{ExplainTi, ExplainTiConfig, TaskKind};
+use explainti_corpus::{generate_wiki, Split, WikiConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+
+const SEED: u64 = 4242;
+const TABLES: usize = 16;
+
+/// Max-abs probability divergence the int8 path may show vs f32
+/// (measured ≈ 3.5e-3 on the seed corpus; gate leaves ~3× headroom).
+const PROB_TOL: f32 = 1e-2;
+
+/// Maximum accuracy (micro-F1) the quantized path may lose, in points.
+const DRIFT_POINTS: f64 = 0.5;
+
+fn corpus() -> explainti_corpus::Dataset {
+    generate_wiki(&WikiConfig { num_tables: TABLES, seed: SEED, ..Default::default() })
+}
+
+fn build(quantized: bool) -> ExplainTi {
+    let cfg = ExplainTiConfig::bert_like(2048, 32).with_quantized(quantized);
+    let mut model = ExplainTi::new(&corpus(), cfg);
+    for task in 0..model.tasks().len() {
+        model.refresh_store(task);
+    }
+    model
+}
+
+fn probes(model: &ExplainTi, kind: TaskKind, n: usize) -> Vec<usize> {
+    let task = model.task_index(kind).expect("task registered");
+    model.tasks()[task].data.train_idx.iter().copied().take(n).collect()
+}
+
+// ---- pinned quantized bytes -------------------------------------------
+
+#[derive(Serialize)]
+struct GoldenSample {
+    sample: usize,
+    label: usize,
+    /// `f32::to_bits` of every class probability, as hex.
+    prob_bits: Vec<String>,
+    /// LE: (window start, relevance bits) in ranked order.
+    local: Vec<(usize, String)>,
+    /// GE: (training-sample id, influence bits) in ranked order.
+    global: Vec<(usize, String)>,
+    /// SE: (neighbour node, attention bits) in ranked order.
+    structural: Vec<(usize, String)>,
+}
+
+#[derive(Serialize)]
+struct Golden {
+    corpus_seed: u64,
+    num_tables: usize,
+    samples: Vec<GoldenSample>,
+}
+
+fn bits(x: f32) -> String {
+    format!("{:08x}", x.to_bits())
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/quantized.json")
+}
+
+fn current() -> Golden {
+    let model = build(true);
+    let mut samples = Vec::new();
+    for idx in probes(&model, TaskKind::Type, 3) {
+        let pred = model.predict(TaskKind::Type, idx);
+        samples.push(GoldenSample {
+            sample: idx,
+            label: pred.label,
+            prob_bits: pred.probs.iter().map(|&p| bits(p)).collect(),
+            local: pred.explanation.local.iter().map(|s| (s.start, bits(s.relevance))).collect(),
+            global: pred.explanation.global.iter().map(|g| (g.sample, bits(g.influence))).collect(),
+            structural: pred
+                .explanation
+                .structural
+                .iter()
+                .map(|n| (n.node, bits(n.attention)))
+                .collect(),
+        });
+    }
+    Golden { corpus_seed: SEED, num_tables: TABLES, samples }
+}
+
+#[test]
+fn quantized_explanations_match_golden() {
+    let got = serde_json::to_string_pretty(&current()).unwrap() + "\n";
+    let path = golden_path();
+    if std::env::var("EXPLAINTI_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with EXPLAINTI_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "quantized output drifted from {}; if the change is intentional, re-bless with \
+         EXPLAINTI_BLESS=1 and review the diff",
+        path.display()
+    );
+}
+
+// ---- tolerance vs the f32 twin ----------------------------------------
+
+#[test]
+fn quantized_probs_track_f32_within_tolerance() {
+    let f32_model = build(false);
+    let q_model = build(true);
+    for kind in [TaskKind::Type, TaskKind::Relation] {
+        if f32_model.task_index(kind).is_none() {
+            continue;
+        }
+        let mut max_err = 0.0f32;
+        for idx in probes(&f32_model, kind, 8) {
+            let pf = f32_model.predict(kind, idx);
+            let pq = q_model.predict(kind, idx);
+            assert_eq!(pf.probs.len(), pq.probs.len());
+            for (a, b) in pf.probs.iter().zip(&pq.probs) {
+                max_err = max_err.max((a - b).abs());
+            }
+            assert_eq!(
+                pf.label, pq.label,
+                "{kind} sample {idx}: quantized top-1 flipped ({} → {})",
+                pf.label, pq.label
+            );
+        }
+        assert!(
+            max_err <= PROB_TOL,
+            "{kind}: quantized max-abs prob error {max_err} exceeds {PROB_TOL}"
+        );
+    }
+}
+
+#[test]
+fn quantized_views_rank_like_f32() {
+    // Scores differ within tolerance, but what gets *explained* — the
+    // top-ranked window, neighbour, and graph node — must not change.
+    let f32_model = build(false);
+    let q_model = build(true);
+    for idx in probes(&f32_model, TaskKind::Type, 3) {
+        let pf = f32_model.predict(TaskKind::Type, idx);
+        let pq = q_model.predict(TaskKind::Type, idx);
+        assert_eq!(
+            pf.explanation.local.first().map(|s| s.start),
+            pq.explanation.local.first().map(|s| s.start),
+            "sample {idx}: LE top window moved"
+        );
+        assert_eq!(
+            pf.explanation.global.first().map(|g| g.sample),
+            pq.explanation.global.first().map(|g| g.sample),
+            "sample {idx}: GE top neighbour moved"
+        );
+        assert_eq!(
+            pf.explanation.structural.first().map(|n| n.node),
+            pq.explanation.structural.first().map(|n| n.node),
+            "sample {idx}: SE top node moved"
+        );
+    }
+}
+
+#[test]
+fn quantized_accuracy_drift_is_bounded() {
+    // The xeval gate: across whole splits (not just probe samples) the
+    // quantized path may not lose more than DRIFT_POINTS of accuracy.
+    let f32_model = build(false);
+    let q_model = build(true);
+    for split in [Split::Train, Split::Test] {
+        let ef = f32_model.evaluate(TaskKind::Type, split);
+        let eq = q_model.evaluate(TaskKind::Type, split);
+        let drop_points = (ef.micro - eq.micro) * 100.0;
+        assert!(
+            drop_points <= DRIFT_POINTS,
+            "{split:?}: quantized micro-F1 dropped {drop_points:.3} points \
+             (f32 {:.4} → q8 {:.4})",
+            ef.micro,
+            eq.micro
+        );
+    }
+}

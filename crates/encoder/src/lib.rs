@@ -13,6 +13,9 @@
 #![warn(missing_docs)]
 
 pub mod mlm;
+pub mod quant;
+
+pub use quant::QuantizedEncoder;
 
 use explainti_nn::{
     Dropout, Embedding, FeedForward, Graph, LayerNorm, MultiHeadAttention, NodeId, ParamStore,

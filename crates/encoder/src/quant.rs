@@ -1,0 +1,329 @@
+//! int8-quantized inference twin of [`TransformerEncoder`].
+//!
+//! [`QuantizedEncoder`] is built from a trained encoder's
+//! [`TransformerEncoder::export_weights`] checkpoint: the six linear
+//! projections per layer (Q/K/V/O, FC1, FC2) are per-row symmetrically
+//! quantized to i8 with their weight matrices pre-transposed so the
+//! reduction axis is contiguous; embeddings, layer norms, softmax, GELU,
+//! attention score/context products and residual adds stay f32 (the
+//! "dynamic quantization" recipe — see DESIGN.md §16 for the error
+//! model). Training never touches this type; it is rebuilt from the f32
+//! weights whenever they change (model swap, `enable_quantized`).
+//!
+//! All per-request temporaries come from the caller's bump [`Arena`], so
+//! steady-state serving allocates nothing on the heap beyond the output
+//! tensor.
+
+use crate::{EncoderConfig, TransformerEncoder};
+use explainti_nn::quant::{qmatmul_rows, QuantizedMatrix};
+use explainti_nn::tensor::softmax_into;
+use explainti_nn::{Arena, ParamStore, Tensor};
+use explainti_tokenizer::Encoded;
+
+/// A quantized affine layer: per-row-quantized Wᵀ plus an f32 bias.
+struct QuantLinear {
+    /// Wᵀ, quantized per row (row j holds output column j's weights).
+    wt: QuantizedMatrix,
+    bias: Vec<f32>,
+}
+
+impl QuantLinear {
+    /// `w` is the f32 weight of shape `in_dim x out_dim`, `b` its bias.
+    fn new(w: &Tensor, b: &[f32]) -> QuantLinear {
+        QuantLinear { wt: QuantizedMatrix::from_tensor_transposed(w), bias: b.to_vec() }
+    }
+
+    fn out_dim(&self) -> usize {
+        self.wt.rows
+    }
+
+    /// `x` is `rows * in_dim` row-major; writes `rows * out_dim` into `out`.
+    fn apply(&self, x: &[f32], rows: usize, xq: &mut [i8], out: &mut [f32]) {
+        qmatmul_rows(x, rows, self.wt.cols, &self.wt, Some(&self.bias), xq, out);
+    }
+}
+
+struct QuantLayer {
+    wq: QuantLinear,
+    wk: QuantLinear,
+    wv: QuantLinear,
+    wo: QuantLinear,
+    ln1_gain: Vec<f32>,
+    ln1_bias: Vec<f32>,
+    fc1: QuantLinear,
+    fc2: QuantLinear,
+    ln2_gain: Vec<f32>,
+    ln2_bias: Vec<f32>,
+}
+
+/// int8 inference-only encoder mirroring [`TransformerEncoder::forward`]
+/// with `training = false`.
+pub struct QuantizedEncoder {
+    cfg: EncoderConfig,
+    head_dim: usize,
+    /// f32 token-embedding table, `vocab x d_model` row-major.
+    tok_emb: Vec<f32>,
+    /// f32 position-embedding table, `max_seq x d_model` row-major.
+    pos_emb: Vec<f32>,
+    emb_ln_gain: Vec<f32>,
+    emb_ln_bias: Vec<f32>,
+    layers: Vec<QuantLayer>,
+}
+
+/// Sequential reader over the flat checkpoint buffer.
+struct FlatReader<'a> {
+    flat: &'a [f32],
+    off: usize,
+}
+
+impl<'a> FlatReader<'a> {
+    fn take(&mut self, n: usize) -> &'a [f32] {
+        let s = &self.flat[self.off..self.off + n];
+        self.off += n;
+        s
+    }
+
+    fn take_tensor(&mut self, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_vec(rows, cols, self.take(rows * cols).to_vec())
+    }
+}
+
+impl QuantizedEncoder {
+    /// Quantizes a trained encoder's current weights. The flat buffer
+    /// layout follows the encoder's construction order: token table,
+    /// position table, embedding layer norm, then per layer
+    /// Q/K/V/O (weight then bias each), ln1, FC1, FC2, ln2.
+    pub fn from_encoder(enc: &TransformerEncoder, store: &ParamStore) -> QuantizedEncoder {
+        let cfg = enc.config().clone();
+        let flat = enc.export_weights(store);
+        let d = cfg.d_model;
+        let mut r = FlatReader { flat: &flat, off: 0 };
+        let tok_emb = r.take(cfg.vocab_size * d).to_vec();
+        let pos_emb = r.take(cfg.max_seq * d).to_vec();
+        let emb_ln_gain = r.take(d).to_vec();
+        let emb_ln_bias = r.take(d).to_vec();
+        fn lin(rdr: &mut FlatReader, in_d: usize, out_d: usize) -> QuantLinear {
+            let w = rdr.take_tensor(in_d, out_d);
+            let b = rdr.take(out_d).to_vec();
+            QuantLinear::new(&w, &b)
+        }
+        let mut layers = Vec::with_capacity(cfg.n_layers);
+        for _ in 0..cfg.n_layers {
+            let wq = lin(&mut r, d, d);
+            let wk = lin(&mut r, d, d);
+            let wv = lin(&mut r, d, d);
+            let wo = lin(&mut r, d, d);
+            let ln1_gain = r.take(d).to_vec();
+            let ln1_bias = r.take(d).to_vec();
+            let fc1 = lin(&mut r, d, cfg.d_ff);
+            let fc2 = lin(&mut r, cfg.d_ff, d);
+            let ln2_gain = r.take(d).to_vec();
+            let ln2_bias = r.take(d).to_vec();
+            layers.push(QuantLayer {
+                wq,
+                wk,
+                wv,
+                wo,
+                ln1_gain,
+                ln1_bias,
+                fc1,
+                fc2,
+                ln2_gain,
+                ln2_bias,
+            });
+        }
+        assert_eq!(r.off, flat.len(), "checkpoint layout mismatch");
+        QuantizedEncoder {
+            head_dim: cfg.d_model / cfg.n_heads,
+            cfg,
+            tok_emb,
+            pos_emb,
+            emb_ln_gain,
+            emb_ln_bias,
+            layers,
+        }
+    }
+
+    /// Model width `d`.
+    pub fn d_model(&self) -> usize {
+        self.cfg.d_model
+    }
+
+    /// Runs the quantized forward, returning the `max_seq x d_model`
+    /// embedding matrix (`E` in the paper; row 0 is `E_[CLS]`).
+    /// Temporaries are carved from `arena`; the caller owns its reset
+    /// cadence (one reset per request in serving).
+    pub fn forward(&self, enc: &Encoded, arena: &Arena) -> Tensor {
+        let _span = explainti_obs::span!("encoder.forward_quantized");
+        let seq = self.cfg.max_seq;
+        let d = self.cfg.d_model;
+        assert_eq!(enc.ids.len(), seq, "sequence length mismatch");
+
+        // Embedding sum + layer norm (f32, exactly as the graph path).
+        let x = arena.alloc_f32(seq * d);
+        for (i, &id) in enc.ids.iter().enumerate() {
+            let tok = &self.tok_emb[id * d..(id + 1) * d];
+            let pos = &self.pos_emb[i * d..(i + 1) * d];
+            let row = &mut x[i * d..(i + 1) * d];
+            for c in 0..d {
+                row[c] = tok[c] + pos[c];
+            }
+        }
+        layer_norm_rows(x, seq, d, &self.emb_ln_gain, &self.emb_ln_bias);
+
+        let mask = enc.pad_mask();
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let hd = self.head_dim;
+        let d_ff = self.cfg.d_ff;
+
+        let xq = arena.alloc_i8(d.max(d_ff));
+        let q = arena.alloc_f32(seq * d);
+        let k = arena.alloc_f32(seq * d);
+        let v = arena.alloc_f32(seq * d);
+        let ctx = arena.alloc_f32(seq * d);
+        let attn_out = arena.alloc_f32(seq * d);
+        let scores = arena.alloc_f32(seq);
+        let probs = arena.alloc_f32(seq);
+        let h_buf = arena.alloc_f32(seq * d);
+        let ff_hidden = arena.alloc_f32(seq * d_ff);
+        let ff_out = arena.alloc_f32(seq * d);
+
+        for layer in &self.layers {
+            // Q/K/V projections (quantized matmuls).
+            layer.wq.apply(x, seq, xq, q);
+            layer.wk.apply(x, seq, xq, k);
+            layer.wv.apply(x, seq, xq, v);
+
+            // Per-head scaled-dot-product attention, all f32.
+            for h in 0..self.cfg.n_heads {
+                let start = h * hd;
+                for i in 0..seq {
+                    let qi = &q[i * d + start..i * d + start + hd];
+                    for j in 0..seq {
+                        let kj = &k[j * d + start..j * d + start + hd];
+                        let mut s = 0.0f32;
+                        for l in 0..hd {
+                            s += qi[l] * kj[l];
+                        }
+                        scores[j] = s * scale + mask[j];
+                    }
+                    softmax_into(scores, probs);
+                    let out_row = &mut ctx[i * d + start..i * d + start + hd];
+                    out_row.fill(0.0);
+                    for j in 0..seq {
+                        let p = probs[j];
+                        if p == 0.0 {
+                            continue;
+                        }
+                        let vj = &v[j * d + start..j * d + start + hd];
+                        for l in 0..hd {
+                            out_row[l] += p * vj[l];
+                        }
+                    }
+                }
+            }
+
+            // Output projection, residual, ln1.
+            layer.wo.apply(ctx, seq, xq, attn_out);
+            for (xi, ai) in x.iter_mut().zip(attn_out.iter()) {
+                *xi += ai;
+            }
+            layer_norm_rows(x, seq, d, &layer.ln1_gain, &layer.ln1_bias);
+            h_buf.copy_from_slice(x);
+
+            // Feed-forward: fc1 -> gelu -> fc2, residual, ln2.
+            layer.fc1.apply(h_buf, seq, xq, ff_hidden);
+            for vph in ff_hidden.iter_mut() {
+                *vph = gelu(*vph);
+            }
+            debug_assert_eq!(layer.fc2.out_dim(), d);
+            layer.fc2.apply(ff_hidden, seq, xq, ff_out);
+            for (xi, (hi, fi)) in x.iter_mut().zip(h_buf.iter().zip(ff_out.iter())) {
+                *xi = hi + fi;
+            }
+            layer_norm_rows(x, seq, d, &layer.ln2_gain, &layer.ln2_bias);
+        }
+
+        Tensor::from_vec(seq, d, x.to_vec())
+    }
+}
+
+/// In-place per-row layer norm matching `Graph::layer_norm` exactly
+/// (same EPS, same mean/variance accumulation order).
+fn layer_norm_rows(x: &mut [f32], rows: usize, cols: usize, gain: &[f32], bias: &[f32]) {
+    const EPS: f32 = 1e-5;
+    for r in 0..rows {
+        let row = &mut x[r * cols..(r + 1) * cols];
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let istd = 1.0 / (var + EPS).sqrt();
+        for c in 0..cols {
+            row[c] = gain[c] * ((row[c] - mean) * istd) + bias[c];
+        }
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+const GELU_A: f32 = 0.044_715;
+
+/// GELU tanh approximation, identical to the autograd forward.
+fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransformerEncoder;
+    use explainti_nn::Graph;
+    use explainti_tokenizer::{encode_column, Tokenizer};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Tokenizer, TransformerEncoder, ParamStore, SmallRng) {
+        let tok = Tokenizer::train(["alpha beta gamma delta", "one two three"], 128);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig::bert_like(tok.vocab_size(), 16);
+        let enc = TransformerEncoder::new(&mut store, cfg, &mut rng);
+        (tok, enc, store, rng)
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_forward() {
+        let (tok, enc, store, mut rng) = setup();
+        let qenc = QuantizedEncoder::from_encoder(&enc, &store);
+        let arena = Arena::new();
+        for (a, b) in [("alpha", "beta"), ("one", "two"), ("gamma", "delta")] {
+            let e = encode_column(&tok, a, b, &["gamma", "three"], 16);
+            let mut g = Graph::new();
+            let node = enc.forward(&mut g, &store, &e, false, &mut rng);
+            let exact = g.value(node).clone();
+            let approx = qenc.forward(&e, &arena);
+            assert_eq!(exact.shape(), approx.shape());
+            let mut max_err = 0.0f32;
+            for (x, y) in exact.as_slice().iter().zip(approx.as_slice()) {
+                max_err = max_err.max((x - y).abs());
+            }
+            // Untrained weights, 2 layers: int8 error stays well under
+            // the golden suite's 1e-2 prob gate at the embedding level.
+            assert!(max_err < 0.15, "quantized drift too large: {max_err}");
+        }
+    }
+
+    #[test]
+    fn quantized_forward_is_deterministic_and_arena_stable() {
+        let (tok, enc, store, _rng) = setup();
+        let qenc = QuantizedEncoder::from_encoder(&enc, &store);
+        let e = encode_column(&tok, "alpha", "beta", &["gamma"], 16);
+        let mut arena = Arena::new();
+        let a = qenc.forward(&e, &arena);
+        let cap = arena.capacity();
+        for _ in 0..5 {
+            arena.reset();
+            let b = qenc.forward(&e, &arena);
+            assert_eq!(a, b, "quantized forward must be deterministic");
+            assert_eq!(arena.capacity(), cap, "steady-state forward must not grow arena");
+        }
+    }
+}

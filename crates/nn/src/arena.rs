@@ -1,0 +1,289 @@
+//! Bump arena for per-request tensor temporaries.
+//!
+//! Steady-state serving allocates the same scratch buffers (quantized
+//! activations, i32 accumulators, f32 staging rows) on every request.
+//! [`Arena`] hands out disjoint slices from a list of raw chunks and
+//! recycles them wholesale on [`Arena::reset`], so after warm-up the
+//! request path performs zero heap allocation. The per-thread entry
+//! point is [`with_thread_arena`], which also publishes the arena's
+//! capacity through the `nn.arena.bytes` gauge so tests can assert zero
+//! steady-state growth.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::cell::{Cell, RefCell};
+
+/// Alignment of every arena allocation and chunk base pointer — enough
+/// for any f32/i32 SIMD load and a full cache line.
+const ALIGN: usize = 64;
+
+/// Minimum chunk size; doubles as the growth floor.
+const MIN_CHUNK: usize = 64 * 1024;
+
+/// One raw heap chunk. The pointer comes from `alloc_zeroed` with a
+/// 64-byte-aligned layout and is freed in [`Arena::drop`].
+struct Chunk {
+    ptr: *mut u8,
+    len: usize,
+}
+
+/// A bump allocator over byte chunks. `alloc_*` takes `&self` (interior
+/// mutability) so several live slices can be carved from one arena;
+/// `reset` takes `&mut self`, which the borrow checker uses to prove no
+/// slice from a previous epoch outlives the reset.
+///
+/// `Arena` is `!Send`/`!Sync` (raw pointers), so all access is
+/// single-threaded by construction.
+pub struct Arena {
+    chunks: RefCell<Vec<Chunk>>,
+    /// Index of the chunk currently being bumped.
+    cur: Cell<usize>,
+    /// Bump offset inside the current chunk.
+    off: Cell<usize>,
+    /// Total capacity across all chunks, in bytes.
+    cap: Cell<usize>,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        for chunk in self.chunks.get_mut().drain(..) {
+            // SAFETY: every chunk was allocated in alloc_bytes with
+            // exactly this layout and is freed exactly once here.
+            unsafe {
+                dealloc(chunk.ptr, Layout::from_size_align(chunk.len, ALIGN).unwrap());
+            }
+        }
+    }
+}
+
+impl Arena {
+    /// Creates an empty arena; the first allocation grows it.
+    pub fn new() -> Self {
+        Arena {
+            chunks: RefCell::new(Vec::new()),
+            cur: Cell::new(0),
+            off: Cell::new(0),
+            cap: Cell::new(0),
+        }
+    }
+
+    /// Total bytes owned by the arena (capacity, not live bytes).
+    pub fn capacity(&self) -> usize {
+        self.cap.get()
+    }
+
+    /// Rewinds the bump pointer; all previously handed-out slices are
+    /// dead (enforced at compile time by the `&mut self` receiver).
+    /// Chunks are kept, so a reset arena reuses its memory.
+    pub fn reset(&mut self) {
+        self.cur.set(0);
+        self.off.set(0);
+    }
+
+    /// Returns a fresh, 64-byte-aligned, disjoint pointer range of `len`
+    /// bytes. Ranges handed out between two resets never overlap because
+    /// the bump offset is monotone and chunk bases are distinct heap
+    /// allocations.
+    fn alloc_bytes(&self, len: usize) -> *mut u8 {
+        let len = len.max(1);
+        loop {
+            let ci = self.cur.get();
+            let (base, cap, have_next) = {
+                let chunks = self.chunks.borrow();
+                match chunks.get(ci) {
+                    Some(c) => (c.ptr, c.len, ci + 1 < chunks.len()),
+                    None => (std::ptr::null_mut(), 0, false),
+                }
+            };
+            if !base.is_null() {
+                let off = self.off.get();
+                let aligned = off.div_ceil(ALIGN) * ALIGN;
+                if aligned + len <= cap {
+                    self.off.set(aligned + len);
+                    // SAFETY: aligned + len <= cap, so the range is inside
+                    // this chunk's allocation; the bump offset guarantees it
+                    // was never handed out since the last reset, and reset
+                    // requires &mut self so no borrow from a previous epoch
+                    // is live.
+                    return unsafe { base.add(aligned) };
+                }
+                if have_next {
+                    self.cur.set(ci + 1);
+                    self.off.set(0);
+                    continue;
+                }
+            }
+            // Need a new chunk. Only Chunk descriptors live in the Vec, so
+            // pushing never moves or touches the raw chunk memory that
+            // previously returned slices point into.
+            let size = len.div_ceil(ALIGN).max(1) * ALIGN;
+            let size = size.next_power_of_two().max(MIN_CHUNK);
+            let layout = Layout::from_size_align(size, ALIGN).unwrap();
+            // SAFETY: layout has non-zero size and valid power-of-two
+            // alignment.
+            let ptr = unsafe { alloc_zeroed(layout) };
+            assert!(!ptr.is_null(), "arena chunk allocation failed");
+            let mut chunks = self.chunks.borrow_mut();
+            chunks.push(Chunk { ptr, len: size });
+            self.cur.set(chunks.len() - 1);
+            self.off.set(0);
+            self.cap.set(self.cap.get() + size);
+        }
+    }
+
+    /// Allocates a zero-initialised f32 slice from the arena.
+    // The typed-arena shape: `&self` hands out `&mut` slices. Sound
+    // because every call bumps past the returned range (regions are
+    // disjoint) and `reset` takes `&mut self`, so no slice from a
+    // previous epoch can still be live when memory is reused.
+    #[allow(clippy::mut_from_ref)]
+    pub fn alloc_f32(&self, len: usize) -> &mut [f32] {
+        let p = self.alloc_bytes(len.max(1) * 4) as *mut f32;
+        // SAFETY: alloc_bytes returned a fresh, 64-byte-aligned, disjoint
+        // range of at least len*4 bytes; f32 has alignment 4 <= 64 and any
+        // bit pattern is a valid f32. write_bytes re-zeroes memory reused
+        // after a reset. The borrow is tied to &self and reset (&mut self)
+        // cannot run while it is live.
+        unsafe {
+            std::ptr::write_bytes(p, 0, len);
+            std::slice::from_raw_parts_mut(p, len)
+        }
+    }
+
+    /// Allocates a zero-initialised i8 slice from the arena.
+    #[allow(clippy::mut_from_ref)] // same disjoint-bump argument as alloc_f32
+    pub fn alloc_i8(&self, len: usize) -> &mut [i8] {
+        let p = self.alloc_bytes(len.max(1)) as *mut i8;
+        // SAFETY: same argument as alloc_f32 (alignment 1, any bit
+        // pattern valid).
+        unsafe {
+            std::ptr::write_bytes(p, 0, len);
+            std::slice::from_raw_parts_mut(p, len)
+        }
+    }
+
+    /// Allocates a zero-initialised i32 slice from the arena.
+    #[allow(clippy::mut_from_ref)] // same disjoint-bump argument as alloc_f32
+    pub fn alloc_i32(&self, len: usize) -> &mut [i32] {
+        let p = self.alloc_bytes(len.max(1) * 4) as *mut i32;
+        // SAFETY: same argument as alloc_f32 (alignment 4 <= 64, any bit
+        // pattern valid).
+        unsafe {
+            std::ptr::write_bytes(p, 0, len);
+            std::slice::from_raw_parts_mut(p, len)
+        }
+    }
+}
+
+thread_local! {
+    static TL_ARENA: RefCell<Arena> = RefCell::new(Arena::new());
+}
+
+/// Runs `f` with this thread's arena, reset to empty on entry, and
+/// publishes the arena capacity to the `nn.arena.bytes` gauge afterward.
+/// Steady-state callers therefore see a constant gauge once the arena
+/// has warmed up.
+pub fn with_thread_arena<R>(f: impl FnOnce(&mut Arena) -> R) -> R {
+    TL_ARENA.with(|cell| {
+        let mut arena = cell.borrow_mut();
+        arena.reset();
+        let out = f(&mut arena);
+        explainti_obs::set_gauge("nn.arena.bytes", arena.capacity() as f64);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_reset_reuse_capacity() {
+        let mut a = Arena::new();
+        for _ in 0..5 {
+            let s = a.alloc_f32(1000);
+            s[999] = 1.0;
+            let cap = a.capacity();
+            a.reset();
+            let s2 = a.alloc_f32(1000);
+            assert_eq!(s2[999], 0.0, "reused memory must be re-zeroed");
+            assert_eq!(a.capacity(), cap, "reset must not grow capacity");
+        }
+    }
+
+    #[test]
+    fn alignment_is_64() {
+        let a = Arena::new();
+        for len in [1, 3, 17, 64, 100] {
+            let s = a.alloc_i8(len);
+            assert_eq!(s.as_ptr() as usize % ALIGN, 0);
+            let f = a.alloc_f32(len);
+            assert_eq!(f.as_ptr() as usize % ALIGN, 0);
+            let i = a.alloc_i32(len);
+            assert_eq!(i.as_ptr() as usize % ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn slices_are_disjoint() {
+        let a = Arena::new();
+        let x = a.alloc_f32(64);
+        let y = a.alloc_f32(64);
+        let z = a.alloc_i32(64);
+        x.fill(1.0);
+        y.fill(2.0);
+        z.fill(3);
+        assert!(x.iter().all(|v| *v == 1.0));
+        assert!(y.iter().all(|v| *v == 2.0));
+        assert!(z.iter().all(|v| *v == 3));
+    }
+
+    #[test]
+    fn grows_across_chunks() {
+        let a = Arena::new();
+        let mut total = 0usize;
+        for _ in 0..40 {
+            let s = a.alloc_f32(8192);
+            s[0] = 1.0;
+            total += 8192 * 4;
+        }
+        assert!(a.capacity() >= total);
+    }
+
+    #[test]
+    fn multi_chunk_reset_reuses_all_chunks() {
+        let mut a = Arena::new();
+        for _ in 0..40 {
+            a.alloc_f32(8192);
+        }
+        let cap = a.capacity();
+        a.reset();
+        for _ in 0..40 {
+            let s = a.alloc_f32(8192);
+            assert_eq!(s[0], 0.0);
+        }
+        assert_eq!(a.capacity(), cap);
+    }
+
+    #[test]
+    fn thread_arena_steady_state_capacity() {
+        let first = with_thread_arena(|a| {
+            a.alloc_f32(4096);
+            a.alloc_i8(512);
+            a.capacity()
+        });
+        for _ in 0..10 {
+            let cap = with_thread_arena(|a| {
+                a.alloc_f32(4096);
+                a.alloc_i8(512);
+                a.capacity()
+            });
+            assert_eq!(cap, first, "steady-state requests must not grow the arena");
+        }
+    }
+}

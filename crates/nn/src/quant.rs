@@ -1,0 +1,258 @@
+//! int8 symmetric quantization for the inference path.
+//!
+//! Weights and activations are quantized per row: `scale = max|x| / 127`,
+//! `q = round(x / scale)` clamped to `[-127, 127]`, accumulated in i32
+//! and dequantized as `acc * scale_x * scale_w`. Training stays f32; only
+//! inference matmuls and GE cosine scoring use this path. Integer
+//! arithmetic is exact, so the SIMD and scalar arms of [`crate::simd::dot_i8`]
+//! agree bit for bit and the quantization error model is purely the
+//! rounding step (see DESIGN.md §16).
+
+use crate::simd;
+use crate::tensor::Tensor;
+
+/// A per-row symmetrically quantized matrix. Rows are contiguous, so the
+/// reduction axis of `x · Wᵀ` is a contiguous i8 slice per output column
+/// when the weight matrix is stored transposed.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    /// Quantized values, row-major, `rows * cols` entries.
+    pub q: Vec<i8>,
+    /// One dequantization scale per row.
+    pub scales: Vec<f32>,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns (the reduction axis length).
+    pub cols: usize,
+}
+
+/// Quantizes one f32 row into `out_q` (same length), returning the scale.
+/// All-zero rows get scale 0 (and all-zero codes), which dequantizes to
+/// exact zeros.
+pub fn quantize_row(row: &[f32], out_q: &mut [i8]) -> f32 {
+    debug_assert_eq!(row.len(), out_q.len());
+    let mut max_abs = 0.0f32;
+    for v in row {
+        let a = v.abs();
+        if a > max_abs {
+            max_abs = a;
+        }
+    }
+    if max_abs == 0.0 {
+        out_q.fill(0);
+        return 0.0;
+    }
+    let scale = max_abs / 127.0;
+    let inv = 127.0 / max_abs;
+    for (o, v) in out_q.iter_mut().zip(row) {
+        *o = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a tensor row-by-row.
+    pub fn from_tensor(t: &Tensor) -> QuantizedMatrix {
+        let (rows, cols) = (t.rows(), t.cols());
+        let mut q = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            scales[r] = quantize_row(t.row_slice(r), &mut q[r * cols..(r + 1) * cols]);
+        }
+        QuantizedMatrix { q, scales, rows, cols }
+    }
+
+    /// Quantizes the **transpose** of a tensor (shape becomes
+    /// `cols × rows`), so a weight matrix W of shape `in × out` is stored
+    /// with each output column's weights contiguous.
+    pub fn from_tensor_transposed(t: &Tensor) -> QuantizedMatrix {
+        let (rows, cols) = (t.cols(), t.rows());
+        let mut flat = vec![0.0f32; rows * cols];
+        for r in 0..t.rows() {
+            let src = t.row_slice(r);
+            for c in 0..t.cols() {
+                flat[c * cols + r] = src[c];
+            }
+        }
+        let mut q = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            scales[r] =
+                quantize_row(&flat[r * cols..(r + 1) * cols], &mut q[r * cols..(r + 1) * cols]);
+        }
+        QuantizedMatrix { q, scales, rows, cols }
+    }
+
+    /// Row `r` as an i8 slice.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.q[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+/// Quantized linear layer: `out[i][j] = dot_i8(xq_i, wt_j) * sx_i * sw_j + bias[j]`
+/// where `wt` holds Wᵀ per-row-quantized. `x` is quantized per row on the
+/// fly into arena-style scratch provided by the caller (`xq_scratch`,
+/// at least `x.cols` long). Output is written into `out`
+/// (`x.rows * wt.rows`, row-major). Increments the
+/// `nn.kernel.dispatch.quantized` counter once per call.
+pub fn qmatmul_into(
+    x: &Tensor,
+    wt: &QuantizedMatrix,
+    bias: Option<&[f32]>,
+    xq_scratch: &mut [i8],
+    out: &mut [f32],
+) {
+    qmatmul_rows(x.as_slice(), x.rows(), x.cols(), wt, bias, xq_scratch, out);
+}
+
+/// Slice-based form of [`qmatmul_into`] for activations living in arena
+/// scratch rather than a [`Tensor`]. `x` is `rows * cols` row-major.
+#[allow(clippy::too_many_arguments)]
+pub fn qmatmul_rows(
+    x: &[f32],
+    rows: usize,
+    cols: usize,
+    wt: &QuantizedMatrix,
+    bias: Option<&[f32]>,
+    xq_scratch: &mut [i8],
+    out: &mut [f32],
+) {
+    assert!(x.len() >= rows * cols);
+    assert_eq!(cols, wt.cols, "qmatmul dims: x cols != wt.cols");
+    assert!(xq_scratch.len() >= cols);
+    assert!(out.len() >= rows * wt.rows);
+    explainti_obs::counter!("nn.kernel.dispatch.quantized", 1);
+    let n_out = wt.rows;
+    for i in 0..rows {
+        let sx = quantize_row(&x[i * cols..(i + 1) * cols], &mut xq_scratch[..cols]);
+        let out_row = &mut out[i * n_out..(i + 1) * n_out];
+        if sx == 0.0 {
+            match bias {
+                Some(b) => out_row.copy_from_slice(&b[..n_out]),
+                None => out_row.fill(0.0),
+            }
+            continue;
+        }
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let acc = simd::dot_i8(&xq_scratch[..cols], wt.row(j));
+            let v = acc as f32 * sx * wt.scales[j];
+            *o = match bias {
+                Some(b) => v + b[j],
+                None => v,
+            };
+        }
+    }
+}
+
+/// A quantized embedding-store entry: codes, scale, and the **f32** L2
+/// norm of the original vector (norms stay exact so only the dot is
+/// approximated).
+#[derive(Debug, Clone)]
+pub struct QuantEntry {
+    /// Per-element i8 codes.
+    pub q: Vec<i8>,
+    /// Dequantization scale.
+    pub scale: f32,
+    /// Exact f32 L2 norm of the original vector.
+    pub norm: f32,
+}
+
+impl QuantEntry {
+    /// Quantizes an f32 vector, keeping its exact norm.
+    pub fn from_f32(v: &[f32]) -> QuantEntry {
+        let mut q = vec![0i8; v.len()];
+        let scale = quantize_row(v, &mut q);
+        let mut sq = 0.0f32;
+        for x in v {
+            sq += x * x;
+        }
+        QuantEntry { q, scale, norm: sq.sqrt() }
+    }
+}
+
+/// Cosine similarity between two quantized entries:
+/// `(dot_i8 * scale_a * scale_b) / (norm_a * norm_b)`, 0 when either
+/// norm underflows (mirrors the f32 zero-denominator guard).
+pub fn cosine_q8(a: &QuantEntry, b: &QuantEntry) -> f32 {
+    let denom = a.norm * b.norm;
+    if denom <= f32::EPSILON {
+        return 0.0;
+    }
+    let d = simd::dot_i8(&a.q, &b.q);
+    (d as f32 * a.scale * b.scale) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Tensor {
+        let mut m = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let row = m.row_slice_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = f(r, c);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let x: Vec<f32> = (0..37).map(|i| (i as f32 - 18.0) * 0.11).collect();
+        let mut q = vec![0i8; x.len()];
+        let s = quantize_row(&x, &mut q);
+        let max_abs = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (v, c) in x.iter().zip(&q) {
+            let err = (v - *c as f32 * s).abs();
+            assert!(err <= max_abs / 254.0 + 1e-6, "err {err} too large");
+        }
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_zero() {
+        let x = vec![0.0f32; 16];
+        let mut q = vec![1i8; 16];
+        let s = quantize_row(&x, &mut q);
+        assert_eq!(s, 0.0);
+        assert!(q.iter().all(|c| *c == 0));
+    }
+
+    #[test]
+    fn qmatmul_close_to_f32() {
+        let x = t(5, 24, |r, c| ((r * 7 + c * 3) % 13) as f32 * 0.1 - 0.6);
+        let w = t(24, 9, |r, c| ((r * 5 + c * 11) % 17) as f32 * 0.05 - 0.4);
+        let wt = QuantizedMatrix::from_tensor_transposed(&w);
+        let mut scratch = vec![0i8; 24];
+        let mut out = vec![0.0f32; 5 * 9];
+        qmatmul_into(&x, &wt, None, &mut scratch, &mut out);
+        let exact = x.matmul(&w);
+        for i in 0..5 {
+            for j in 0..9 {
+                let e = exact.row_slice(i)[j];
+                let got = out[i * 9 + j];
+                // 24-long dot of values |v| <= ~1.3; per-element quant
+                // error <= max/254 on each side.
+                assert!((e - got).abs() < 0.05, "({i},{j}): {e} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_q8_close_to_f32() {
+        let a: Vec<f32> = (0..32).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.3).collect();
+        let b: Vec<f32> = (0..32).map(|i| ((i * 29 % 11) as f32 - 5.0) * 0.2).collect();
+        let qa = QuantEntry::from_f32(&a);
+        let qb = QuantEntry::from_f32(&b);
+        let approx = cosine_q8(&qa, &qb);
+        let exact = crate::simd::cosine_scalar(&a, &b);
+        assert!((approx - exact).abs() < 0.02, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn cosine_q8_zero_guard() {
+        let z = QuantEntry::from_f32(&[0.0; 8]);
+        let a = QuantEntry::from_f32(&[1.0; 8]);
+        assert_eq!(cosine_q8(&z, &a), 0.0);
+    }
+}

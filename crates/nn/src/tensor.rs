@@ -11,15 +11,17 @@
 //! The three products (`A·B`, `Aᵀ·B`, `A·Bᵀ`) are blocked kernels: the
 //! non-contiguous operand is packed into a transposed panel once, each
 //! output row is then a run of contiguous fixed-order dot products or
-//! axpy sweeps, and row blocks are distributed over the shared
-//! [`explainti_pool`] when the product is large enough to amortise
-//! dispatch. Every output element is computed by exactly one task with
-//! an accumulation order that depends only on the shapes — **results
-//! are byte-identical for every thread count**, which the serve
-//! integration tests and the `kernels` bench binary both assert. The
-//! pre-existing single-threaded triple loops survive as
-//! `matmul_naive`/`matmul_tn_naive`/`matmul_nt_naive`, the references
-//! the property tests compare against.
+//! axpy sweeps (now executed by the runtime-dispatched SIMD kernels in
+//! [`crate::simd`], whose AVX2 and scalar arms are bitwise equivalent),
+//! and row blocks are distributed over the shared [`explainti_pool`]
+//! when the product is large enough to amortise dispatch. Every output
+//! element is computed by exactly one task with an accumulation order
+//! that depends only on the shapes — **results are byte-identical for
+//! every thread count and every dispatch tier**, which the serve
+//! integration tests, `tests/simd_kernels.rs`, and the `kernels` bench
+//! binary all assert. The pre-existing single-threaded triple loops
+//! survive as `matmul_naive`/`matmul_tn_naive`/`matmul_nt_naive`, the
+//! references the property tests compare against.
 
 use explainti_pool::ThreadPool;
 use std::fmt;
@@ -39,26 +41,40 @@ const ROW_BLOCK: usize = 32;
 /// naive streaming kernels are both faster and allocation-free.
 const PACK_MIN: usize = 8;
 
-/// Fixed-order dot product with four independent accumulators: fast
-/// without `-ffast-math`-style reassociation, and bit-reproducible
-/// because the combination order is hard-coded.
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (x, y) in (&mut ca).zip(&mut cb) {
-        for l in 0..8 {
-            acc[l] += x[l] * y[l];
+/// Records which kernel arm ran for one dispatched product. Called once
+/// per packed-kernel invocation (after the naive-path early returns) so
+/// the counters reflect actual SIMD-eligible work.
+fn note_dispatch() {
+    match crate::simd::tier() {
+        crate::simd::SimdTier::Avx2 => explainti_obs::counter!("nn.kernel.dispatch.avx2", 1),
+        crate::simd::SimdTier::Neon => explainti_obs::counter!("nn.kernel.dispatch.neon", 1),
+        crate::simd::SimdTier::Scalar => explainti_obs::counter!("nn.kernel.dispatch.scalar", 1),
+    }
+}
+
+/// Walks a block of output rows two at a time (odd leftover handled by
+/// `one`), so the paired kernel can stream the shared packed panel once
+/// per output-row pair. `bi` is the row index within the block.
+fn paired_rows(
+    rows_out: &mut [f32],
+    n: usize,
+    mut one: impl FnMut(usize, &mut [f32]),
+    mut two: impl FnMut(usize, &mut [f32], &mut [f32]),
+) {
+    let mut chunks = rows_out.chunks_mut(n);
+    let mut bi = 0;
+    while let Some(out0) = chunks.next() {
+        match chunks.next() {
+            Some(out1) => {
+                two(bi, out0, out1);
+                bi += 2;
+            }
+            None => {
+                one(bi, out0);
+                bi += 1;
+            }
         }
     }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    let half = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
-    ((half[0] + half[1]) + (half[2] + half[3])) + tail
 }
 
 /// A `*mut f32` that may cross threads.
@@ -282,17 +298,35 @@ impl Tensor {
         if self.rows < PACK_MIN || other.cols == 0 {
             return self.matmul_naive(other);
         }
+        note_dispatch();
         let bt = other.transpose();
         let n = other.cols;
         let mut out = Tensor::zeros(self.rows, n);
         let flops = self.rows * self.cols * n;
+        let k = self.cols;
         let body = |start: usize, _end: usize, rows_out: &mut [f32]| {
-            for (bi, out_row) in rows_out.chunks_mut(n).enumerate() {
-                let a_row = self.row_slice(start + bi);
-                for (j, out_v) in out_row.iter_mut().enumerate() {
-                    *out_v = dot(a_row, bt.row_slice(j));
-                }
-            }
+            paired_rows(
+                rows_out,
+                n,
+                |bi, out_row| {
+                    crate::simd::row_times_rows(
+                        self.row_slice(start + bi),
+                        bt.as_slice(),
+                        k,
+                        out_row,
+                    )
+                },
+                |bi, out0, out1| {
+                    crate::simd::rows2_times_rows(
+                        self.row_slice(start + bi),
+                        self.row_slice(start + bi + 1),
+                        bt.as_slice(),
+                        k,
+                        out0,
+                        out1,
+                    )
+                },
+            );
         };
         match pool {
             Some(p) => for_row_blocks_in(p, self.rows, n, &mut out.data, body),
@@ -349,6 +383,7 @@ impl Tensor {
         if other.cols < PACK_MIN {
             return self.matmul_tn_naive(other);
         }
+        note_dispatch();
         let at = self.transpose();
         let n = other.cols;
         let mut out = Tensor::zeros(self.cols, n);
@@ -360,10 +395,7 @@ impl Tensor {
                     if a == 0.0 {
                         continue;
                     }
-                    let b_row = other.row_slice(k);
-                    for j in 0..n {
-                        out_row[j] += a * b_row[j];
-                    }
+                    crate::simd::axpy(a, other.row_slice(k), out_row);
                 }
             }
         };
@@ -424,14 +456,32 @@ impl Tensor {
         if n == 0 {
             return out;
         }
+        note_dispatch();
         let flops = self.rows * self.cols * n;
+        let k = self.cols;
         let body = |start: usize, _end: usize, rows_out: &mut [f32]| {
-            for (bi, out_row) in rows_out.chunks_mut(n).enumerate() {
-                let a_row = self.row_slice(start + bi);
-                for (j, out_v) in out_row.iter_mut().enumerate() {
-                    *out_v = dot(a_row, other.row_slice(j));
-                }
-            }
+            paired_rows(
+                rows_out,
+                n,
+                |bi, out_row| {
+                    crate::simd::row_times_rows(
+                        self.row_slice(start + bi),
+                        other.as_slice(),
+                        k,
+                        out_row,
+                    )
+                },
+                |bi, out0, out1| {
+                    crate::simd::rows2_times_rows(
+                        self.row_slice(start + bi),
+                        self.row_slice(start + bi + 1),
+                        other.as_slice(),
+                        k,
+                        out0,
+                        out1,
+                    )
+                },
+            );
         };
         match pool {
             Some(p) => for_row_blocks_in(p, self.rows, n, &mut out.data, body),
@@ -521,22 +571,11 @@ impl Tensor {
     }
 
     /// Cosine similarity between two flat tensors of identical length.
+    /// Runs on the dispatched SIMD kernel ([`crate::simd::cosine`]);
+    /// every arm is bitwise equal to the 8-lane scalar reference.
     pub fn cosine(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "cosine length mismatch");
-        let mut dot = 0.0f32;
-        let mut na = 0.0f32;
-        let mut nb = 0.0f32;
-        for (&a, &b) in self.data.iter().zip(&other.data) {
-            dot += a * b;
-            na += a * a;
-            nb += b * b;
-        }
-        let denom = na.sqrt() * nb.sqrt();
-        if denom <= f32::EPSILON {
-            0.0
-        } else {
-            dot / denom
-        }
+        crate::simd::cosine(&self.data, &other.data)
     }
 
     /// Extracts rows `[start, start + n)` into a new tensor.

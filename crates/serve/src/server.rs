@@ -93,6 +93,9 @@ pub struct ServeConfig {
     pub replicas: usize,
     /// Smoke-verify a swap candidate with one prediction before commit.
     pub swap_verify: bool,
+    /// Serve inference on the int8 symmetric-quantized path (encoder
+    /// forward + GE similarity); swapped-in generations inherit it.
+    pub quantized: bool,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +117,7 @@ impl Default for ServeConfig {
             shards: 1,
             replicas: 1,
             swap_verify: true,
+            quantized: false,
         }
     }
 }
@@ -215,6 +219,8 @@ pub(crate) struct Shared {
     shards: usize,
     replicas: usize,
     swap_verify: bool,
+    /// Swapped-in generations are re-quantized to match the serving path.
+    quantized: bool,
     /// Effective knobs, frozen at startup for `/v1/config`; the `model`
     /// block is refreshed per request from the live generation.
     config: ConfigResponse,
@@ -680,7 +686,7 @@ fn run_swap(shared: &Shared, model_dir: &str) -> Result<(u64, u64, bool), ApiErr
     // LOAD — entirely off to the side; serving continues on the old
     // generation while the snapshot is read and verified (crash-safe
     // MANIFEST machinery: torn or tampered snapshots fail here).
-    let (model, dataset) = {
+    let (mut model, dataset) = {
         let _span = explainti_obs::span!("serve.swap.load");
         if explainti_faults::triggered("serve.swap.load") {
             return Err(ApiError::bad_request("injected swap load failure"));
@@ -689,6 +695,11 @@ fn run_swap(shared: &Shared, model_dir: &str) -> Result<(u64, u64, bool), ApiErr
             .map_err(|e| ApiError::bad_request(format!("load {model_dir}: {e}")))?
     };
     let labels = dataset.collection.type_labels.clone();
+    // The serving path is a startup-frozen knob: a swapped-in generation
+    // is quantized to match, so `/v1/config` stays truthful across swaps.
+    if shared.quantized {
+        model.enable_quantized();
+    }
     let model = Arc::new(model);
     // VERIFY — one smoke prediction through the candidate before any
     // request can reach it; a panic (or injected failure) rejects it.
@@ -1049,6 +1060,7 @@ pub fn start(
         shards,
         replicas,
         swap_verify: cfg.swap_verify,
+        quantized: cfg.quantized,
         model: model_info(&boot),
     };
     drop(boot);
@@ -1070,6 +1082,7 @@ pub fn start(
         shards,
         replicas,
         swap_verify: cfg.swap_verify,
+        quantized: cfg.quantized,
         config,
     });
 

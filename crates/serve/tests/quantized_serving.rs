@@ -1,0 +1,178 @@
+//! Serving-layer semantics of the int8 quantized path: `/v1/config`
+//! reports the knob, predictions still answer 200 with full
+//! explanations, and — the zero-heap-churn contract — the per-thread
+//! bump arena stops growing once warm: 100 keep-alive requests leave the
+//! `nn.arena.bytes` gauge exactly where warm-up put it.
+
+// Integration tests may panic freely; the crate's unwrap/expect
+// lints target the request path (EA006), not test assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use explainti_core::{ExplainTi, ExplainTiConfig};
+use explainti_serve::{start, ServeConfig};
+use serde_json::Value;
+
+fn tiny_model(quantized: bool) -> (Arc<ExplainTi>, Vec<String>) {
+    let d = explainti_corpus::generate_wiki(&explainti_corpus::WikiConfig {
+        num_tables: 16,
+        seed: 4242,
+        ..Default::default()
+    });
+    let cfg = ExplainTiConfig::bert_like(2048, 32).with_quantized(quantized);
+    let mut m = ExplainTi::new(&d, cfg);
+    for t in 0..m.tasks().len() {
+        m.refresh_store(t);
+    }
+    (Arc::new(m), d.collection.type_labels.clone())
+}
+
+/// Minimal keep-alive client: frames responses by `Content-Length` so
+/// one socket carries the whole request series.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Self { stream, buf: Vec::new() }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(msg.as_bytes()).unwrap();
+        self.read_response()
+    }
+
+    fn fill(&mut self) {
+        let mut scratch = [0u8; 8192];
+        let n = self.stream.read(&mut scratch).expect("read");
+        assert!(n > 0, "connection closed mid-response");
+        self.buf.extend_from_slice(&scratch[..n]);
+    }
+
+    fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+        haystack.windows(needle.len()).position(|w| w == needle)
+    }
+
+    fn read_response(&mut self) -> (u16, String) {
+        let head_end = loop {
+            if let Some(pos) = Self::find(&self.buf, b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill();
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        self.buf.drain(..head_end + 4);
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable head: {head:?}"));
+        let len: usize = head
+            .lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse().ok())
+            .unwrap_or(0);
+        while self.buf.len() < len {
+            self.fill();
+        }
+        let body: Vec<u8> = self.buf.drain(..len).collect();
+        (status, String::from_utf8_lossy(&body).into_owned())
+    }
+}
+
+fn gauge(metrics: &Value, name: &str) -> Option<f64> {
+    metrics.get("gauges").and_then(|g| g.get(name)).and_then(Value::as_f64)
+}
+
+#[test]
+fn config_reports_quantized_knob() {
+    let (model, labels) = tiny_model(true);
+    let cfg = ServeConfig { workers: 1, quantized: true, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let mut client = Client::connect(&handle.addr());
+
+    let (status, body) = client.request("GET", "/v1/config", "");
+    assert_eq!(status, 200, "body: {body}");
+    let config: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(config.get("quantized").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        config.get("schema_version").and_then(Value::as_u64),
+        Some(explainti_api::SCHEMA_VERSION as u64)
+    );
+
+    // And the default stays off.
+    handle.shutdown();
+    handle.join();
+    let (model, labels) = tiny_model(false);
+    let mut handle = start(model, labels, ServeConfig::default()).expect("start server");
+    let mut client = Client::connect(&handle.addr());
+    let (_, body) = client.request("GET", "/v1/config", "");
+    let config: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(config.get("quantized").and_then(Value::as_bool), Some(false));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn quantized_steady_state_serving_does_not_grow_the_arena() {
+    let (model, labels) = tiny_model(true);
+    // One worker so a single thread (and a single thread-local arena)
+    // serves every forward; cache stays default but every body below is
+    // unique, so each request runs the quantized encoder for real.
+    let cfg = ServeConfig { workers: 1, quantized: true, ..Default::default() };
+    let mut handle = start(model, labels, cfg).expect("start server");
+    let mut client = Client::connect(&handle.addr());
+
+    let predict = |client: &mut Client, i: usize| {
+        let body = format!(
+            r#"{{"title":"t{i}","header":"h{i}","cells":["alpha {i}","beta {i}","gamma {i}"]}}"#
+        );
+        let (status, resp) = client.request("POST", "/v1/interpret", &body);
+        assert_eq!(status, 200, "request {i}: {resp}");
+    };
+
+    // Warm-up: the first requests grow the arena to its steady size.
+    for i in 0..10 {
+        predict(&mut client, i);
+    }
+    let (_, body) = client.request("GET", "/v1/metrics", "");
+    let metrics: Value = serde_json::from_str(&body).unwrap();
+    let warm = gauge(&metrics, "nn.arena.bytes")
+        .unwrap_or_else(|| panic!("nn.arena.bytes gauge missing: {metrics:?}"));
+    assert!(warm > 0.0, "arena gauge never published a warm capacity");
+
+    // Steady state: 100 further keep-alive requests, all distinct, must
+    // leave the capacity byte-for-byte unchanged (reset + reuse, no
+    // growth → zero heap churn on the request path).
+    for i in 10..110 {
+        predict(&mut client, i);
+    }
+    let (_, body) = client.request("GET", "/v1/metrics", "");
+    let metrics: Value = serde_json::from_str(&body).unwrap();
+    let steady = gauge(&metrics, "nn.arena.bytes").expect("gauge after steady state");
+    assert_eq!(steady, warm, "arena grew during steady-state serving ({warm} → {steady} bytes)");
+
+    // The dispatch counters prove the quantized kernels actually ran.
+    let q_calls = metrics
+        .get("counters")
+        .and_then(|c| c.get("nn.kernel.dispatch.quantized"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(q_calls > 0, "quantized kernel dispatch counter never moved: {metrics:?}");
+
+    handle.shutdown();
+    handle.join();
+}
