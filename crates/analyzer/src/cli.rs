@@ -30,6 +30,8 @@ options:
   --wire-fingerprint F     EA005 fingerprint (workspace default: crates/api/wire.fingerprint)
   --api-file F             EA005 DTO source (workspace default: crates/api/src/lib.rs)
   --unsafe-inventory F     also write the EA002 unsafe-site inventory JSON to F
+  --locks-registry F       EA007/EA008 lock classes (workspace default: crates/sync/LOCKS.registry)
+  --lock-inventory F       also write the EA007 lock-site + EA010 ordering inventories JSON to F
   --emit-metrics-md        print the README metrics table from the registry and exit
   --all-scopes             treat every scanned file as in scope for EA001/EA006 (fixture mode)
   --bless                  regenerate crates/api/wire.fingerprint from the current DTO shape
@@ -54,6 +56,8 @@ pub fn main_with_args(argv: &[String]) -> ExitCode {
     let mut fingerprint: Option<PathBuf> = None;
     let mut api_file: Option<PathBuf> = None;
     let mut inventory_out: Option<PathBuf> = None;
+    let mut locks_registry: Option<PathBuf> = None;
+    let mut lock_inventory_out: Option<PathBuf> = None;
     let mut emit_metrics_md = false;
     let mut all_scopes = false;
     let mut bless = false;
@@ -95,6 +99,14 @@ pub fn main_with_args(argv: &[String]) -> ExitCode {
             },
             "--unsafe-inventory" => match value_for("--unsafe-inventory") {
                 Ok(v) => inventory_out = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--locks-registry" => match value_for("--locks-registry") {
+                Ok(v) => locks_registry = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--lock-inventory" => match value_for("--lock-inventory") {
+                Ok(v) => lock_inventory_out = Some(v),
                 Err(e) => return fail(&e),
             },
             "--emit-metrics-md" => emit_metrics_md = true,
@@ -139,6 +151,7 @@ pub fn main_with_args(argv: &[String]) -> ExitCode {
             metrics_registry: None,
             wire_fingerprint: None,
             api_file: None,
+            locks_registry: None,
             all_scopes: false,
             bless: false,
         }
@@ -160,6 +173,9 @@ pub fn main_with_args(argv: &[String]) -> ExitCode {
     }
     if let Some(v) = api_file {
         cfg.api_file = Some(v);
+    }
+    if let Some(v) = locks_registry {
+        cfg.locks_registry = Some(v);
     }
     if cfg.bless && cfg.wire_fingerprint.is_none() {
         cfg.wire_fingerprint = Some(root.join("crates/api/wire.fingerprint"));
@@ -185,6 +201,38 @@ pub fn main_with_args(argv: &[String]) -> ExitCode {
             ));
         }
         s.push_str("]\n");
+        if let Err(e) = std::fs::write(&out, s) {
+            return fail(&format!("write {}: {e}", out.display()));
+        }
+    }
+
+    if let Some(out) = lock_inventory_out {
+        let mut s = String::from("{\n  \"lock_inventory\": [\n");
+        for (i, l) in report.lock_sites.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"class\": \"{}\", \"rank\": {}, \"receiver\": \"{}\"}}{}\n",
+                crate::json_escape(&l.path),
+                l.line,
+                l.col,
+                crate::json_escape(&l.class),
+                l.rank,
+                crate::json_escape(&l.receiver),
+                if i + 1 < report.lock_sites.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"ordering_inventory\": [\n");
+        for (i, o) in report.ordering_sites.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"ordering\": \"{}\", \"documented\": {}}}{}\n",
+                crate::json_escape(&o.path),
+                o.line,
+                o.col,
+                o.ordering,
+                o.documented,
+                if i + 1 < report.ordering_sites.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
         if let Err(e) = std::fs::write(&out, s) {
             return fail(&format!("write {}: {e}", out.display()));
         }

@@ -3,7 +3,7 @@
 //! A dependency-free static-analysis pass that turns this repository's
 //! conventions into CI-gated errors. It scans the workspace's Rust
 //! sources with a hand-rolled token scanner ([`lexer`]) and enforces
-//! six invariants, each with a stable error code:
+//! ten invariants, each with a stable error code:
 //!
 //! | code  | invariant |
 //! |-------|-----------|
@@ -13,6 +13,16 @@
 //! | EA004 | every metric name literal is declared (with the right kind) in `crates/obs/METRICS.registry`, and vice versa |
 //! | EA005 | the `crates/api` DTO shape matches the committed `crates/api/wire.fingerprint` unless `SCHEMA_VERSION` was bumped |
 //! | EA006 | no `unwrap`/`expect`/`panic!`-family macros or indexing-by-literal in the `crates/serve` request path |
+//! | EA007 | every lock acquisition maps to a class in `crates/sync/LOCKS.registry`, and no path through the [call graph](callgraph) inverts the declared rank order |
+//! | EA008 | the epoll reactor thread never blocks: no sleeps/joins/receives, no file I/O, no non-`reactor` lock classes in its transitive reach |
+//! | EA009 | the SIMD/quantized kernel paths never heap-allocate transitively — scratch comes from callers or the bump arena |
+//! | EA010 | every weakened atomic `Ordering::…` site carries a `// ORDERING:` justification (plus a machine-readable inventory) |
+//!
+//! EA007–EA009 run on the whole-workspace [call graph](callgraph) —
+//! a conservative, intra-crate approximation whose soundness limits
+//! are documented in DESIGN.md §17. The runtime shadow-lock verifier
+//! in `explainti-sync` is the dynamic complement for what the static
+//! pass cannot see.
 //!
 //! Findings can be suppressed via a committed allowlist (`analyzer.allow`);
 //! unused allowlist entries are themselves an error (EA000), so the file
@@ -22,9 +32,11 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod checks;
 pub mod cli;
 pub mod lexer;
+pub mod locks;
 
 use std::collections::BTreeMap;
 use std::io;
@@ -34,7 +46,10 @@ use lexer::{lex, Tok};
 
 /// Stable diagnostic codes. `EA000` is reserved for analyzer
 /// self-hygiene (unused suppressions, malformed registry files).
-pub const CODES: [&str; 7] = ["EA000", "EA001", "EA002", "EA003", "EA004", "EA005", "EA006"];
+pub const CODES: [&str; 11] = [
+    "EA000", "EA001", "EA002", "EA003", "EA004", "EA005", "EA006", "EA007", "EA008", "EA009",
+    "EA010",
+];
 
 /// One finding, pointing at a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +85,40 @@ pub struct UnsafeSite {
     /// `impl`, `fn`, `block`, `extern`, or `trait`.
     pub kind: &'static str,
     /// Whether a `SAFETY:` comment was found.
+    pub documented: bool,
+}
+
+/// One registered lock-acquisition site, for the EA007 inventory
+/// artifact.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line of the `lock`/`read`/`write` identifier.
+    pub line: u32,
+    /// 1-based column of the `lock`/`read`/`write` identifier.
+    pub col: u32,
+    /// The `LOCKS.registry` class this site maps to.
+    pub class: String,
+    /// The class's rank in the declared acquisition order.
+    pub rank: u16,
+    /// The receiver identifier at the site.
+    pub receiver: String,
+}
+
+/// One atomic memory-ordering site, for the EA010 inventory artifact.
+#[derive(Debug, Clone)]
+pub struct OrderingSite {
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line of the `Ordering` token.
+    pub line: u32,
+    /// 1-based column of the `Ordering` token.
+    pub col: u32,
+    /// `Relaxed`, `Acquire`, `Release`, `AcqRel`, or `SeqCst`.
+    pub ordering: String,
+    /// Whether an `ORDERING:` comment was found (always true for the
+    /// sites that pass; `SeqCst` needs none).
     pub documented: bool,
 }
 
@@ -280,6 +329,8 @@ pub struct Config {
     pub wire_fingerprint: Option<PathBuf>,
     /// The DTO source file EA005 fingerprints.
     pub api_file: Option<PathBuf>,
+    /// Lock-class registry for EA007/EA008 (`None` skips both checks).
+    pub locks_registry: Option<PathBuf>,
     /// Treat every scanned file as in scope for the path-scoped checks
     /// (EA001, EA006) — used by fixture tests.
     pub all_scopes: bool,
@@ -299,6 +350,7 @@ impl Config {
             metrics_registry: Some(root.join("crates/obs/METRICS.registry")),
             wire_fingerprint: Some(root.join("crates/api/wire.fingerprint")),
             api_file: Some(root.join("crates/api/src/lib.rs")),
+            locks_registry: Some(root.join("crates/sync/LOCKS.registry")),
             all_scopes: false,
             bless: false,
         }
@@ -313,6 +365,10 @@ pub struct Report {
     pub suppressed: usize,
     /// Every `unsafe` site encountered (EA002 inventory).
     pub unsafe_sites: Vec<UnsafeSite>,
+    /// Every registered lock-acquisition site (EA007 inventory).
+    pub lock_sites: Vec<LockSite>,
+    /// Every atomic memory-ordering site (EA010 inventory).
+    pub ordering_sites: Vec<OrderingSite>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
@@ -392,6 +448,8 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
 
     let mut diags: Vec<Diag> = Vec::new();
     let mut unsafe_sites: Vec<UnsafeSite> = Vec::new();
+    let mut lock_sites: Vec<LockSite> = Vec::new();
+    let mut ordering_sites: Vec<OrderingSite> = Vec::new();
 
     for f in &files {
         checks::ea001_determinism(f, cfg, &mut diags);
@@ -407,6 +465,17 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
     if let (Some(fp), Some(api)) = (&cfg.wire_fingerprint, &cfg.api_file) {
         checks::ea005_wire_freeze(&files, &cfg.root, fp, api, cfg.bless, &mut diags)?;
     }
+
+    // The call-graph-backed concurrency checks (EA007–EA010).
+    let cg = callgraph::CallGraph::build(&files);
+    if let Some(reg_path) = &cfg.locks_registry {
+        if let Some(mut reg) = locks::load_registry(&cfg.root, reg_path, &mut diags)? {
+            locks::ea007_lock_order(&cg, &mut reg, &mut diags, &mut lock_sites);
+            locks::ea008_reactor_purity(&files, &cg, &reg, &mut diags);
+        }
+    }
+    locks::ea009_hot_alloc(&files, &cg, &mut diags);
+    locks::ea010_ordering_audit(&files, &mut diags, &mut ordering_sites);
 
     // Apply the allowlist, then flag entries that suppressed nothing.
     let mut suppressed = 0usize;
@@ -443,7 +512,18 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
         (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))
     });
     unsafe_sites.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
-    Ok(Report { diags, suppressed, unsafe_sites, files_scanned: files.len() })
+    lock_sites
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.col).cmp(&(b.path.as_str(), b.line, b.col)));
+    ordering_sites
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.col).cmp(&(b.path.as_str(), b.line, b.col)));
+    Ok(Report {
+        diags,
+        suppressed,
+        unsafe_sites,
+        lock_sites,
+        ordering_sites,
+        files_scanned: files.len(),
+    })
 }
 
 // ---- Output rendering -------------------------------------------------
@@ -491,6 +571,31 @@ impl Report {
                 u.kind,
                 u.documented,
                 if i + 1 < self.unsafe_sites.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"lock_inventory\": [\n");
+        for (i, l) in self.lock_sites.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"class\": \"{}\", \"rank\": {}, \"receiver\": \"{}\"}}{}\n",
+                json_escape(&l.path),
+                l.line,
+                l.col,
+                json_escape(&l.class),
+                l.rank,
+                json_escape(&l.receiver),
+                if i + 1 < self.lock_sites.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"ordering_inventory\": [\n");
+        for (i, o) in self.ordering_sites.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"ordering\": \"{}\", \"documented\": {}}}{}\n",
+                json_escape(&o.path),
+                o.line,
+                o.col,
+                o.ordering,
+                o.documented,
+                if i + 1 < self.ordering_sites.len() { "," } else { "" }
             ));
         }
         s.push_str(&format!(

@@ -28,6 +28,7 @@ fn fixture_cfg(paths: &[&str]) -> Config {
         metrics_registry: None,
         wire_fingerprint: None,
         api_file: None,
+        locks_registry: None,
         all_scopes: true,
         bless: false,
     }
@@ -209,6 +210,84 @@ fn ea000_unused_allowlist_entry_is_an_error() {
     let d = &report.diags[0];
     assert_eq!((d.code, d.path.as_str(), d.line), ("EA000", "ea000.allow", 3));
     assert!(d.message.contains("unused allowlist entry"));
+}
+
+#[test]
+fn ea007_flags_inversion_unregistered_and_stale_registry_row() {
+    let mut cfg = fixture_cfg(&["ea007.rs"]);
+    cfg.locks_registry = Some(fixtures_root().join("ea007.locks"));
+    let report = run(&cfg).unwrap();
+    assert_eq!(
+        positions(&report),
+        vec![
+            ("EA007", "ea007.locks".to_string(), 4, 1), // stale row
+            ("EA007", "ea007.rs".to_string(), 8, 16),   // direct inversion
+            ("EA007", "ea007.rs".to_string(), 14, 16),  // unregistered lock
+            ("EA007", "ea007.rs".to_string(), 20, 5),   // held across call
+        ]
+    );
+    assert!(report.diags[0].message.contains("stale entry"));
+    assert!(report.diags[1].message.contains("while holding `fixture.b`"));
+    assert!(report.diags[2].message.contains("unregistered lock"));
+    assert!(report.diags[3].message.contains("held across a call to `helper`"));
+    // The two live classes are inventoried with their ranks.
+    let classes: Vec<(&str, u16)> =
+        report.lock_sites.iter().map(|l| (l.class.as_str(), l.rank)).collect();
+    assert!(classes.contains(&("fixture.a", 10)));
+    assert!(classes.contains(&("fixture.b", 20)));
+}
+
+#[test]
+fn ea007_missing_registry_is_an_error() {
+    let mut cfg = fixture_cfg(&["ea007.rs"]);
+    cfg.locks_registry = Some(fixtures_root().join("no-such.locks"));
+    let report = run(&cfg).unwrap();
+    assert_eq!(report.diags.len(), 1);
+    assert_eq!(report.diags[0].code, "EA007");
+    assert!(report.diags[0].message.contains("missing"));
+}
+
+#[test]
+fn ea008_flags_blocking_two_hops_deep_and_non_reactor_locks() {
+    let mut cfg = fixture_cfg(&["ea008/event_loop.rs", "ea008/backlog.rs"]);
+    cfg.locks_registry = Some(fixtures_root().join("ea008.locks"));
+    let report = run(&cfg).unwrap();
+    assert_eq!(
+        positions(&report),
+        vec![
+            ("EA008", "ea008/backlog.rs".to_string(), 10, 18), // sleep, two hops deep
+            ("EA008", "ea008/backlog.rs".to_string(), 11, 18), // fs::read
+            ("EA008", "ea008/event_loop.rs".to_string(), 20, 28), // non-reactor class
+        ]
+    );
+    // The chain names every hop from the reactor entry.
+    assert!(report.diags[0].message.contains("`tick` → `drain_backlog` → `persist`"));
+    assert!(report.diags[1].message.contains("blocking file I/O"));
+    assert!(report.diags[2].message.contains("non-reactor lock class `fixture.state`"));
+    // The reactor-flagged `dirty` acquisition is sanctioned: no EA008
+    // diag points at it, but it still appears in the lock inventory.
+    assert!(report.lock_sites.iter().any(|l| l.class == "fixture.dirty"));
+}
+
+#[test]
+fn ea009_flags_transitive_allocation_but_not_constructors() {
+    let report = run(&fixture_cfg(&["ea009/nn/src/simd.rs", "ea009/nn/src/util.rs"])).unwrap();
+    assert_eq!(positions(&report), vec![("EA009", "ea009/nn/src/util.rs".to_string(), 5, 5)]);
+    // The allocation is reported against the helper, with the kernel
+    // entry chain; the `from_*` constructor's `.to_vec()` is exempt.
+    assert!(report.diags[0].message.contains("`dot` → `scratch`"));
+}
+
+#[test]
+fn ea010_flags_undocumented_weak_orderings_and_inventories_all_sites() {
+    let report = run(&fixture_cfg(&["ea010.rs"])).unwrap();
+    assert_eq!(positions(&report), vec![("EA010", "ea010.rs".to_string(), 9, 20)]);
+    assert!(report.diags[0].message.contains("Ordering::Relaxed"));
+    // All three sites inventoried: the undocumented Relaxed, the
+    // documented Relaxed, and the exempt SeqCst.
+    assert_eq!(report.ordering_sites.len(), 3);
+    assert_eq!(report.ordering_sites.iter().filter(|o| o.documented).count(), 1);
+    assert!(report.ordering_sites.iter().any(|o| o.ordering == "SeqCst"));
 }
 
 #[test]

@@ -1,0 +1,27 @@
+//! EA007 fixture: an intra-procedural inversion, an unregistered
+//! acquisition, and a transitive inversion across a call.
+
+use std::sync::Mutex;
+
+pub fn inversion(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = b.lock();
+    let ga = a.lock();
+    drop(ga);
+    drop(gb);
+}
+
+pub fn unregistered(c: &Mutex<u32>) {
+    let gc = c.lock();
+    drop(gc);
+}
+
+pub fn outer(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = b.lock();
+    helper(a);
+    drop(gb);
+}
+
+pub fn helper(a: &Mutex<u32>) {
+    let ga = a.lock();
+    drop(ga);
+}

@@ -1,0 +1,13 @@
+//! EA008 fixture helper: blocks, two hops from the reactor.
+
+use std::time::Duration;
+
+pub fn drain_backlog(q: &[u8]) {
+    persist(q);
+}
+
+pub fn persist(q: &[u8]) {
+    std::thread::sleep(Duration::from_millis(1));
+    let _ = std::fs::read("backlog.bin");
+    let _n = q.len();
+}

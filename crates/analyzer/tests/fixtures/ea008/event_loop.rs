@@ -1,0 +1,24 @@
+//! EA008 fixture reactor: one sanctioned reactor-class acquisition,
+//! one non-reactor lock acquisition, and a transitive escape into a
+//! helper that blocks two hops away.
+
+use std::sync::Mutex;
+
+pub struct Loop {
+    pub dirty: Mutex<bool>,
+    pub state: Mutex<u32>,
+}
+
+impl Loop {
+    pub fn run(&self) {
+        let d = self.dirty.lock();
+        drop(d);
+        self.tick();
+    }
+
+    pub fn tick(&self) {
+        let s = self.state.lock();
+        drop(s);
+        drain_backlog(&[]);
+    }
+}

@@ -1,0 +1,17 @@
+//! EA009 fixture kernel: reaches an allocating helper one hop away;
+//! the `from_*` constructor is exempt.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let s = scratch(a.len());
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < a.len() {
+        acc += a[i] * b[i] + s[i];
+        i += 1;
+    }
+    acc
+}
+
+pub fn from_f32(v: &[f32]) -> Vec<f32> {
+    v.to_vec()
+}

@@ -1,0 +1,6 @@
+//! EA009 fixture helper: the allocation lives here, off the kernel
+//! file but on its call path.
+
+pub fn scratch(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}

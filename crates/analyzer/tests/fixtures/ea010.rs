@@ -1,0 +1,19 @@
+//! EA010 fixture: one undocumented weakened ordering, one documented,
+//! one `SeqCst` (exempt).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static N: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    N.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn bump_documented() -> u64 {
+    // ORDERING: Relaxed — fixture counter with no cross-thread contract.
+    N.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn strict() -> u64 {
+    N.load(Ordering::SeqCst)
+}

@@ -211,10 +211,6 @@ fn main() {
         "parallel_matches_serial": !failed,
     });
     write_json("BENCH_kernels", &summary);
-    if let Ok(text) = serde_json::to_string_pretty(&summary) {
-        let _ = std::fs::write("BENCH_kernels.json", text);
-        eprintln!("[saved \"BENCH_kernels.json\"]");
-    }
 
     if failed {
         std::process::exit(1);

@@ -23,7 +23,9 @@
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use explainti_sync::{classes, OrderedMutex};
 use std::time::{Duration, Instant};
 
 use explainti_api::PredictRequest;
@@ -381,15 +383,28 @@ fn quantiles(mut samples: Vec<u64>) -> (u64, u64, u64, u64) {
 }
 
 /// Shared per-phase accounting.
-#[derive(Default)]
 struct PhaseStats {
-    latencies_ns: Mutex<Vec<u64>>,
+    latencies_ns: OrderedMutex<Vec<u64>>,
     sent: AtomicU64,
     errors: AtomicU64,
     late: AtomicU64,
     reused: AtomicU64,
     opened: AtomicU64,
-    error_traces: Mutex<Vec<String>>,
+    error_traces: OrderedMutex<Vec<String>>,
+}
+
+impl Default for PhaseStats {
+    fn default() -> Self {
+        Self {
+            latencies_ns: OrderedMutex::new(&classes::BENCH_LOADGEN_LATENCIES, Vec::new()),
+            sent: AtomicU64::default(),
+            errors: AtomicU64::default(),
+            late: AtomicU64::default(),
+            reused: AtomicU64::default(),
+            opened: AtomicU64::default(),
+            error_traces: OrderedMutex::new(&classes::BENCH_LOADGEN_ERRORS, Vec::new()),
+        }
+    }
 }
 
 impl PhaseStats {
@@ -399,31 +414,38 @@ impl PhaseStats {
         match outcome {
             Ok((status, ns, trace, reused)) => {
                 if reused {
+                    // ORDERING: Relaxed — load-report tallies; read after
+                    // every client thread has joined.
                     self.reused.fetch_add(1, Ordering::Relaxed);
                     explainti_obs::add_counter("loadgen.reused", 1);
                 } else {
+                    // ORDERING: Relaxed — tally, see above.
                     self.opened.fetch_add(1, Ordering::Relaxed);
                 }
                 self.record(Ok((status, ns, trace)));
             }
             Err(e) => {
+                // ORDERING: Relaxed — tally, see above.
                 self.opened.fetch_add(1, Ordering::Relaxed);
                 self.record(Err(e));
             }
         }
     }
     fn record(&self, outcome: Result<(u16, u64, Option<String>), String>) {
+        // ORDERING: Relaxed — load-report tallies only; totals are read
+        // after the phase's client threads join, which synchronises.
         self.sent.fetch_add(1, Ordering::Relaxed);
         explainti_obs::add_counter("loadgen.sent", 1);
         match outcome {
             Ok((status, ns, trace)) => {
-                self.latencies_ns.lock().unwrap_or_else(|p| p.into_inner()).push(ns);
+                self.latencies_ns.lock().push(ns);
                 explainti_obs::registry().histogram("loadgen.request").record(ns);
                 if status >= 500 {
+                    // ORDERING: Relaxed — tally, see above.
                     self.errors.fetch_add(1, Ordering::Relaxed);
                     explainti_obs::add_counter("loadgen.errors", 1);
                     if let Some(id) = trace {
-                        let mut t = self.error_traces.lock().unwrap_or_else(|p| p.into_inner());
+                        let mut t = self.error_traces.lock();
                         if t.len() < 20 {
                             t.push(id);
                         }
@@ -431,6 +453,7 @@ impl PhaseStats {
                 }
             }
             Err(_) => {
+                // ORDERING: Relaxed — tally, see above.
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 explainti_obs::add_counter("loadgen.errors", 1);
             }
@@ -438,27 +461,28 @@ impl PhaseStats {
     }
 
     fn summary(&self, duration_s: f64) -> Value {
-        let samples = self.latencies_ns.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let samples = self.latencies_ns.lock().clone();
         let (p50, p99, p999, max) = quantiles(samples);
+        // ORDERING: Relaxed — tallies are final once the phase's client
+        // threads have joined (the same contract covers the loads below).
         let sent = self.sent.load(Ordering::Relaxed);
         json!({
             "sent": sent,
-            "errors": self.errors.load(Ordering::Relaxed),
-            "late": self.late.load(Ordering::Relaxed),
+            "errors": self.errors.load(Ordering::Relaxed), // ORDERING: Relaxed — as above
+            "late": self.late.load(Ordering::Relaxed), // ORDERING: Relaxed — as above
             "throughput_rps": sent as f64 / duration_s,
             "p50_ns": p50,
             "p99_ns": p99,
             "p999_ns": p999,
             "max_ns": max,
-            "connections_opened": self.opened.load(Ordering::Relaxed),
-            "reused_requests": self.reused.load(Ordering::Relaxed),
-            "error_trace_ids":
-                self.error_traces.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+            "connections_opened": self.opened.load(Ordering::Relaxed), // ORDERING: Relaxed — as above
+            "reused_requests": self.reused.load(Ordering::Relaxed), // ORDERING: Relaxed — as above
+            "error_trace_ids": self.error_traces.lock().clone(),
         })
     }
 
     fn p99_ns(&self) -> u64 {
-        let samples = self.latencies_ns.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let samples = self.latencies_ns.lock().clone();
         quantiles(samples).1
     }
 }
@@ -479,6 +503,8 @@ fn pick_payload<'a>(
     if ((h % 1000) as f64) < repeat_frac * 1000.0 {
         &payloads[(h % hot as u64) as usize]
     } else {
+        // ORDERING: Relaxed — the cursor only needs atomicity to spread
+        // cold payloads across threads; no payload data is published.
         let i = cold_cursor.fetch_add(1, Ordering::Relaxed);
         &payloads[i % payloads.len()]
     }
@@ -488,10 +514,12 @@ fn pick_payload<'a>(
 fn spawn_queue_sampler(
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    out: Arc<Mutex<Vec<Value>>>,
+    out: Arc<OrderedMutex<Vec<Value>>>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         let started = Instant::now();
+        // ORDERING: Relaxed — stop is a lone flag; one extra 100 ms
+        // sample after the store is harmless.
         while !stop.load(Ordering::Relaxed) {
             if let Some(m) = fetch_metrics(&addr) {
                 let depth = m
@@ -499,7 +527,7 @@ fn spawn_queue_sampler(
                     .and_then(|g| g.get("serve.queue.depth"))
                     .and_then(Value::as_f64)
                     .unwrap_or(0.0);
-                out.lock().unwrap_or_else(|p| p.into_inner()).push(json!({
+                out.lock().push(json!({
                     "t_ms": started.elapsed().as_millis() as u64,
                     "depth": depth,
                 }));
@@ -533,6 +561,7 @@ fn run_closed(
                     match client.as_mut() {
                         Some(c) => stats.record_keepalive(c.request(body)),
                         None => {
+                            // ORDERING: Relaxed — tally, read post-join.
                             stats.opened.fetch_add(1, Ordering::Relaxed);
                             stats.record(one_request(&addr, body));
                         }
@@ -568,6 +597,8 @@ fn run_open(
             std::thread::spawn(move || {
                 let mut client = keep_alive.then(|| KeepAliveClient::new(addr));
                 loop {
+                    // ORDERING: Relaxed — slot counter; atomicity alone
+                    // assigns each schedule slot to one sender.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
@@ -580,6 +611,7 @@ fn run_open(
                         // The schedule slipped: every sender is busy waiting
                         // on the server. Record it — this is the open-loop
                         // signal closed-loop benches hide.
+                        // ORDERING: Relaxed — tally, read post-join.
                         stats.late.fetch_add(1, Ordering::Relaxed);
                         explainti_obs::add_counter("loadgen.late", 1);
                     }
@@ -587,6 +619,7 @@ fn run_open(
                     match client.as_mut() {
                         Some(c) => stats.record_keepalive(c.request(body)),
                         None => {
+                            // ORDERING: Relaxed — tally, read post-join.
                             stats.opened.fetch_add(1, Ordering::Relaxed);
                             stats.record(one_request(&addr, body));
                         }
@@ -683,7 +716,7 @@ fn main() {
     }
 
     let duration = Duration::from_secs(args.duration_s);
-    let queue_curve = Arc::new(Mutex::new(Vec::new()));
+    let queue_curve = Arc::new(OrderedMutex::new(&classes::BENCH_LOADGEN_QUEUE_CURVE, Vec::new()));
     let stop = Arc::new(AtomicBool::new(false));
     let sampler = spawn_queue_sampler(addr, Arc::clone(&stop), Arc::clone(&queue_curve));
 
@@ -749,8 +782,8 @@ fn main() {
             args.conns,
             if args.keep_alive { " keep-alive" } else { "" },
             phase.get("sent").and_then(Value::as_u64).unwrap_or(0),
-            stats.reused.load(Ordering::Relaxed),
-            stats.opened.load(Ordering::Relaxed),
+            stats.reused.load(Ordering::Relaxed), // ORDERING: Relaxed — post-join read
+            stats.opened.load(Ordering::Relaxed), // ORDERING: Relaxed — post-join read
             stats.p99_ns() as f64 / 1e6,
             norm,
         );
@@ -791,12 +824,11 @@ fn main() {
         report.insert("open".into(), json!(sweeps));
     }
 
+    // ORDERING: Relaxed — lone stop flag for the sampler thread; the
+    // join below is the synchronisation point.
     stop.store(true, Ordering::Relaxed);
     let _ = sampler.join();
-    report.insert(
-        "queue_depth".into(),
-        json!(queue_curve.lock().unwrap_or_else(|p| p.into_inner()).clone()),
-    );
+    report.insert("queue_depth".into(), json!(queue_curve.lock().clone()));
 
     if let Some(h) = handle.take() {
         h.shutdown();

@@ -19,7 +19,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use explainti_sync::{classes, OrderedMutex};
 use std::time::Duration;
 
 use explainti_api::PredictRequest;
@@ -185,6 +187,8 @@ fn client_loop(addr: SocketAddr, payloads: Arc<Vec<String>>, stop: Arc<AtomicBoo
     let mut stream: Option<TcpStream> = None;
     let mut buf = Vec::new();
     let mut n = 0usize;
+    // ORDERING: Relaxed — lone stop flag; the drill joins the driver
+    // threads before reading results.
     while !stop.load(Ordering::Relaxed) {
         let s = match &mut stream {
             Some(s) => s,
@@ -325,14 +329,14 @@ fn main() {
     let payloads = Arc::new(build_payloads());
     assert!(!payloads.is_empty(), "payload corpus is empty");
     let stop = Arc::new(AtomicBool::new(false));
-    let tallies = Arc::new(Mutex::new(Vec::<Tally>::new()));
+    let tallies = Arc::new(OrderedMutex::new(&classes::BENCH_SWAP_TALLIES, Vec::<Tally>::new()));
     let clients: Vec<_> = (0..args.conns)
         .map(|_| {
             let (payloads, stop, tallies) =
                 (Arc::clone(&payloads), Arc::clone(&stop), Arc::clone(&tallies));
             std::thread::spawn(move || {
                 let tally = client_loop(addr, payloads, stop);
-                tallies.lock().unwrap_or_else(|p| p.into_inner()).push(tally);
+                tallies.lock().push(tally);
             })
         })
         .collect();
@@ -356,6 +360,7 @@ fn main() {
         std::thread::sleep(phase);
     }
 
+    // ORDERING: Relaxed — lone stop flag, joined below.
     stop.store(true, Ordering::Relaxed);
     for c in clients {
         let _ = c.join();
@@ -371,7 +376,7 @@ fn main() {
 
     // -- Merge tallies and gate ---------------------------------------------
     let mut total = Tally::default();
-    for t in tallies.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+    for t in tallies.lock().iter() {
         total.requests += t.requests;
         total.server_5xx += t.server_5xx;
         total.reconnects += t.reconnects;

@@ -10,8 +10,9 @@
 //! downtime.
 
 use crate::ExplainTi;
+use explainti_sync::{classes, OrderedRwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// One immutable model generation.
 pub struct Generation {
@@ -25,7 +26,7 @@ pub struct Generation {
 
 /// Atomically swappable pointer to the live [`Generation`].
 pub struct GenerationHandle {
-    current: RwLock<Arc<Generation>>,
+    current: OrderedRwLock<Arc<Generation>>,
     next_id: AtomicU64,
 }
 
@@ -33,7 +34,10 @@ impl GenerationHandle {
     /// Wraps the boot model as generation 1.
     pub fn new(model: Arc<ExplainTi>, labels: Vec<String>) -> Self {
         Self {
-            current: RwLock::new(Arc::new(Generation { model, labels, id: 1 })),
+            current: OrderedRwLock::new(
+                &classes::CORE_GENERATION,
+                Arc::new(Generation { model, labels, id: 1 }),
+            ),
             next_id: AtomicU64::new(2),
         }
     }
@@ -42,7 +46,7 @@ impl GenerationHandle {
     /// for the duration of their request; a concurrent swap does not
     /// affect them.
     pub fn current(&self) -> Arc<Generation> {
-        self.current.read().unwrap_or_else(|p| p.into_inner()).clone()
+        self.current.read().clone()
     }
 
     /// Installs `model` as the next generation and returns
@@ -51,7 +55,7 @@ impl GenerationHandle {
     pub fn swap(&self, model: Arc<ExplainTi>, labels: Vec<String>) -> (u64, u64) {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let fresh = Arc::new(Generation { model, labels, id });
-        let mut live = self.current.write().unwrap_or_else(|p| p.into_inner());
+        let mut live = self.current.write();
         let previous = live.id;
         *live = fresh;
         (previous, id)

@@ -172,12 +172,15 @@ impl ExplainTi {
     /// Whether the model is serving in degraded mode (GE/ANN store
     /// unavailable — global explanations come back empty).
     pub fn is_degraded(&self) -> bool {
+        // ORDERING: Relaxed — degraded mode is a lone advisory flag; the
+        // store publishes no other data, so no edge is needed.
         self.degraded.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Marks (or clears) degraded mode. `&self` so the serving layer can
     /// flip it on a shared `Arc<ExplainTi>`.
     pub fn set_degraded(&self, on: bool) {
+        // ORDERING: Relaxed — lone flag, see `is_degraded`.
         self.degraded.store(on, std::sync::atomic::Ordering::Relaxed);
     }
 

@@ -52,13 +52,16 @@
 //! a `/v1/metrics` scrape can read them after the drill) and an
 //! optional [observer](set_observer) is invoked on every trip — the CLI
 //! and server install one that mirrors trips into `explainti-obs`
-//! counters, keeping this crate dependency-free.
+//! counters, keeping this crate free of telemetry dependencies (its
+//! only workspace dependency is the `explainti-sync` lock layer).
 
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
+
+use explainti_sync::{classes, OrderedMutex};
 
 /// When a failpoint site trips, given the site's 1-based check count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,13 +146,16 @@ struct RegistryInner {
 /// 0 = uninitialised (env not read yet), 1 = no active sites, 2 = active.
 static STATE: AtomicU8 = AtomicU8::new(0);
 
-fn registry() -> &'static Mutex<RegistryInner> {
-    static REG: OnceLock<Mutex<RegistryInner>> = OnceLock::new();
-    REG.get_or_init(|| Mutex::new(RegistryInner::default()))
+fn registry() -> &'static OrderedMutex<RegistryInner> {
+    static REG: OnceLock<OrderedMutex<RegistryInner>> = OnceLock::new();
+    REG.get_or_init(|| OrderedMutex::new(&classes::FAULTS_REGISTRY, RegistryInner::default()))
 }
 
 fn refresh_state(inner: &RegistryInner) {
     let active = inner.sites.values().any(|s| s.policy != Policy::Never);
+    // ORDERING: Release — pairs with the Acquire load in `enabled`: a
+    // thread that observes 2 must also observe the site map written
+    // before this store (it then takes the registry lock to read it).
     STATE.store(if active { 2 } else { 1 }, Ordering::Release);
 }
 
@@ -159,7 +165,7 @@ fn refresh_state(inner: &RegistryInner) {
 fn ensure_init() {
     static INIT: OnceLock<()> = OnceLock::new();
     INIT.get_or_init(|| {
-        let mut inner = registry().lock().unwrap();
+        let mut inner = registry().lock();
         if let Ok(spec) = std::env::var("EXPLAINTI_FAILPOINTS") {
             for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
                 match parse_entry(entry) {
@@ -177,9 +183,12 @@ fn ensure_init() {
 /// Whether any failpoint site is currently active.
 #[inline]
 pub fn enabled() -> bool {
+    // ORDERING: Acquire — pairs with `refresh_state`'s Release store so
+    // an observed 2 implies the configured sites are visible.
     match STATE.load(Ordering::Acquire) {
         0 => {
             ensure_init();
+            // ORDERING: Acquire — same pairing as the load above.
             STATE.load(Ordering::Acquire) == 2
         }
         1 => false,
@@ -196,7 +205,7 @@ pub fn triggered(site: &str) -> bool {
     if !enabled() {
         return false;
     }
-    let mut inner = registry().lock().unwrap();
+    let mut inner = registry().lock();
     let Some(state) = inner.sites.get_mut(site) else {
         return false;
     };
@@ -227,7 +236,7 @@ pub fn panic_if_triggered(site: &str) {
 /// Activates (or replaces) a site with `policy`.
 pub fn configure(site: &str, policy: Policy) {
     ensure_init();
-    let mut inner = registry().lock().unwrap();
+    let mut inner = registry().lock();
     inner.sites.insert(site.to_string(), Site::new(policy));
     refresh_state(&inner);
 }
@@ -300,7 +309,7 @@ pub fn configure_from_spec(spec: &str) -> Result<usize, String> {
     for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
         parsed.push(parse_entry(entry)?);
     }
-    let mut inner = registry().lock().unwrap();
+    let mut inner = registry().lock();
     let n = parsed.len();
     for (site, policy) in parsed {
         inner.sites.insert(site, Site::new(policy));
@@ -312,7 +321,7 @@ pub fn configure_from_spec(spec: &str) -> Result<usize, String> {
 /// Deactivates one site (check counters and hit counts are kept).
 pub fn clear(site: &str) {
     ensure_init();
-    let mut inner = registry().lock().unwrap();
+    let mut inner = registry().lock();
     inner.sites.remove(site);
     refresh_state(&inner);
 }
@@ -321,7 +330,7 @@ pub fn clear(site: &str) {
 /// what tripped; [`reset_hits`] zeroes those too.
 pub fn clear_all() {
     ensure_init();
-    let mut inner = registry().lock().unwrap();
+    let mut inner = registry().lock();
     inner.sites.clear();
     refresh_state(&inner);
 }
@@ -329,19 +338,19 @@ pub fn clear_all() {
 /// Zeroes the per-site trip counts.
 pub fn reset_hits() {
     ensure_init();
-    registry().lock().unwrap().hits.clear();
+    registry().lock().hits.clear();
 }
 
 /// How many times `site` has tripped so far.
 pub fn hit_count(site: &str) -> u64 {
     ensure_init();
-    registry().lock().unwrap().hits.get(site).copied().unwrap_or(0)
+    registry().lock().hits.get(site).copied().unwrap_or(0)
 }
 
 /// Every site that has tripped, with its trip count, sorted by name.
 pub fn hit_counts() -> Vec<(String, u64)> {
     ensure_init();
-    registry().lock().unwrap().hits.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    registry().lock().hits.iter().map(|(k, v)| (k.clone(), *v)).collect()
 }
 
 /// Installs a callback invoked (under the registry lock) on every trip
@@ -349,7 +358,7 @@ pub fn hit_counts() -> Vec<(String, u64)> {
 /// `explainti-obs` counters without making this crate depend on it.
 pub fn set_observer(f: impl Fn(&str) + Send + Sync + 'static) {
     ensure_init();
-    registry().lock().unwrap().observer = Some(Box::new(f));
+    registry().lock().observer = Some(Box::new(f));
 }
 
 #[cfg(test)]
@@ -360,7 +369,7 @@ mod tests {
 
     /// The registry is process-global; tests serialise on this.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static GUARD: Mutex<()> = Mutex::new(());
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
         GUARD.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -510,7 +519,7 @@ mod tests {
     fn observer_sees_trips() {
         let _g = lock();
         clear_all();
-        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
         let seen2 = Arc::clone(&seen);
         set_observer(move |site| seen2.lock().unwrap().push(site.to_string()));
         configure("t.obs", Policy::Times(2));

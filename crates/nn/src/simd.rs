@@ -74,10 +74,13 @@ fn detect() -> u8 {
 /// Returns the kernel arm in effect for this process (cached after the
 /// first call). Honors `EXPLAINTI_NO_SIMD=1` and [`force_tier`].
 pub fn tier() -> SimdTier {
+    // ORDERING: Relaxed — the cached tier is a pure function of the
+    // environment; racing initialisers compute the same value, so the
+    // cell needs atomicity only.
     let mut t = TIER.load(Ordering::Relaxed);
     if t == TIER_UNSET {
         t = detect();
-        TIER.store(t, Ordering::Relaxed);
+        TIER.store(t, Ordering::Relaxed); // ORDERING: Relaxed — as above
     }
     match t {
         TIER_AVX2 => SimdTier::Avx2,
@@ -96,11 +99,13 @@ pub fn force_tier(t: SimdTier) {
         SimdTier::Neon => TIER_NEON,
         SimdTier::Scalar => TIER_SCALAR,
     };
+    // ORDERING: Relaxed — see `tier`; the forced value is self-contained.
     TIER.store(v, Ordering::Relaxed);
 }
 
 /// Clears any cached/forced tier so the next [`tier`] call re-detects.
 pub fn reset_tier() {
+    // ORDERING: Relaxed — see `tier`.
     TIER.store(TIER_UNSET, Ordering::Relaxed);
 }
 

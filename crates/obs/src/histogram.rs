@@ -76,25 +76,31 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
+        // ORDERING: Relaxed — every histogram cell is an independent
+        // statistical counter; readers merge torn-in-time snapshots by
+        // design, so no happens-before edge is needed anywhere here.
         self.counts[Self::index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // ORDERING: Relaxed — as above
+        self.sum.fetch_add(v, Ordering::Relaxed); // ORDERING: Relaxed — as above
+        self.min.fetch_min(v, Ordering::Relaxed); // ORDERING: Relaxed — as above
+        self.max.fetch_max(v, Ordering::Relaxed); // ORDERING: Relaxed — as above
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — advisory read of an independent cell.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all samples (saturating only at u64 wrap, ~584 years of ns).
     pub fn sum(&self) -> u64 {
+        // ORDERING: Relaxed — advisory read of an independent cell.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Smallest recorded sample (0 when empty).
     pub fn min(&self) -> u64 {
+        // ORDERING: Relaxed — advisory read of an independent cell.
         let m = self.min.load(Ordering::Relaxed);
         if m == u64::MAX {
             0
@@ -105,6 +111,7 @@ impl Histogram {
 
     /// Largest recorded sample (0 when empty).
     pub fn max(&self) -> u64 {
+        // ORDERING: Relaxed — advisory read of an independent cell.
         self.max.load(Ordering::Relaxed)
     }
 
@@ -123,6 +130,8 @@ impl Histogram {
         let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, c) in self.counts.iter().enumerate() {
+            // ORDERING: Relaxed — quantiles are estimates over a moving
+            // population; bucket-wise tearing is within the error model.
             seen += c.load(Ordering::Relaxed);
             if seen >= target {
                 return Self::value_of(idx).clamp(self.min(), self.max());
@@ -136,31 +145,39 @@ impl Histogram {
     /// Concurrent recording into either side stays consistent bucket-wise
     /// (each bucket is an independent atomic add).
     pub fn merge_from(&self, src: &Histogram) {
+        // ORDERING: Relaxed — merge is bucket-wise additive and tolerant
+        // of concurrent recording on either side (each cell independent);
+        // the same contract covers every load/add/min/max below.
         let n = src.count.load(Ordering::Relaxed);
         if n == 0 {
             return;
         }
         for (dst, s) in self.counts.iter().zip(src.counts.iter()) {
-            let c = s.load(Ordering::Relaxed);
+            let c = s.load(Ordering::Relaxed); // ORDERING: Relaxed — as above
             if c != 0 {
-                dst.fetch_add(c, Ordering::Relaxed);
+                dst.fetch_add(c, Ordering::Relaxed); // ORDERING: Relaxed — as above
             }
         }
-        self.count.fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed); // ORDERING: Relaxed — as above
+                                                    // ORDERING: Relaxed — as above
         self.sum.fetch_add(src.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        // ORDERING: Relaxed — as above
         self.min.fetch_min(src.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        // ORDERING: Relaxed — as above
         self.max.fetch_max(src.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Zeroes all buckets and aggregates in place.
     pub fn reset(&self) {
+        // ORDERING: Relaxed — in-place zeroing of independent advisory
+        // cells; concurrent recorders may interleave, by design.
         for c in self.counts.iter() {
-            c.store(0, Ordering::Relaxed);
+            c.store(0, Ordering::Relaxed); // ORDERING: Relaxed — as above
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.min.store(u64::MAX, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // ORDERING: Relaxed — as above
+        self.sum.store(0, Ordering::Relaxed); // ORDERING: Relaxed — as above
+        self.min.store(u64::MAX, Ordering::Relaxed); // ORDERING: Relaxed — as above
+        self.max.store(0, Ordering::Relaxed); // ORDERING: Relaxed — as above
     }
 }
 

@@ -22,7 +22,9 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use explainti_sync::{classes, OrderedMutex};
 use std::time::Instant;
 
 use explainti_metrics::report::TextTable;
@@ -65,6 +67,9 @@ fn level_from_env() -> Level {
 
 /// The active level (reads `EXPLAINTI_LOG` on first call).
 pub fn level() -> Level {
+    // ORDERING: Relaxed — the level is an independent flag with no
+    // associated payload to synchronise; stale reads only delay a level
+    // change by one observation.
     match LEVEL.load(Ordering::Relaxed) {
         0 => Level::Off,
         1 => Level::Info,
@@ -72,6 +77,8 @@ pub fn level() -> Level {
         _ => {
             let l = level_from_env();
             // A concurrent set_level wins; env init is best-effort.
+            // ORDERING: Relaxed — same flag-only contract as the load
+            // above; no other memory is published by the level.
             let _ = LEVEL.compare_exchange(255, l as u8, Ordering::Relaxed, Ordering::Relaxed);
             level()
         }
@@ -80,6 +87,7 @@ pub fn level() -> Level {
 
 /// Overrides the level (tests, CLI flags). Takes precedence over the env.
 pub fn set_level(l: Level) {
+    // ORDERING: Relaxed — flag-only store, see `level`.
     LEVEL.store(l as u8, Ordering::Relaxed);
 }
 
@@ -87,6 +95,7 @@ pub fn set_level(l: Level) {
 /// single relaxed atomic load once the level is initialised.
 #[inline]
 pub fn enabled() -> bool {
+    // ORDERING: Relaxed — hot-path flag load, see `level`.
     match LEVEL.load(Ordering::Relaxed) {
         0 => false,
         255 => level() != Level::Off,
@@ -102,63 +111,76 @@ pub fn enabled() -> bool {
 /// keep recording lock-free. [`Registry::reset`] therefore zeroes
 /// metrics in place instead of dropping them, so cached handles stay
 /// live across test runs.
-#[derive(Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>, // f64 bits
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: OrderedMutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: OrderedMutex<BTreeMap<String, Arc<AtomicU64>>>, // f64 bits
+    histograms: OrderedMutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            counters: OrderedMutex::new(&classes::OBS_COUNTERS, BTreeMap::new()),
+            gauges: OrderedMutex::new(&classes::OBS_GAUGES, BTreeMap::new()),
+            histograms: OrderedMutex::new(&classes::OBS_HISTOGRAMS, BTreeMap::new()),
+        }
+    }
 }
 
 impl Registry {
     /// The named counter, created on first use.
     pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = self.counters.lock();
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// The named gauge (an `f64` stored as bits), created on first use.
     pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = self.gauges.lock();
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// The named histogram, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = self.histograms.lock();
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Zeroes every metric in place (handles cached by call sites keep
     /// working). Intended for tests and multi-run binaries.
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
-            c.store(0, Ordering::Relaxed);
+        // ORDERING: Relaxed — metric cells are independent monotonic
+        // scalars; readers tolerate torn-in-time snapshots by design.
+        for c in self.counters.lock().values() {
+            c.store(0, Ordering::Relaxed); // ORDERING: Relaxed — as above
         }
-        for g in self.gauges.lock().unwrap().values() {
-            g.store(0f64.to_bits(), Ordering::Relaxed);
+        // ORDERING: Relaxed — same independent-scalar contract.
+        for g in self.gauges.lock().values() {
+            g.store(0f64.to_bits(), Ordering::Relaxed); // ORDERING: Relaxed — as above
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in self.histograms.lock().values() {
             h.reset();
         }
     }
 
     pub(crate) fn snapshot(&self) -> Snapshot {
+        // ORDERING: Relaxed — snapshots are advisory; each cell is an
+        // independent scalar and no cross-metric consistency is promised.
         let counters = self
             .counters
             .lock()
-            .unwrap()
             .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))) // ORDERING: Relaxed — as above
             .collect();
+        // ORDERING: Relaxed — same advisory-snapshot contract.
         let gauges = self
             .gauges
             .lock()
-            .unwrap()
             .iter()
-            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed)))) // ORDERING: Relaxed — as above
             .collect();
         let histograms =
-            self.histograms.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            self.histograms.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         Snapshot { counters, gauges, histograms }
     }
 }
@@ -178,6 +200,8 @@ pub fn registry() -> &'static Registry {
 /// Adds `n` to the named counter (no-op when disabled).
 pub fn add_counter(name: &str, n: u64) {
     if enabled() {
+        // ORDERING: Relaxed — counters are independent monotonic cells;
+        // only totals matter, never cross-thread ordering.
         registry().counter(name).fetch_add(n, Ordering::Relaxed);
     }
 }
@@ -185,6 +209,7 @@ pub fn add_counter(name: &str, n: u64) {
 /// Sets the named gauge (no-op when disabled).
 pub fn set_gauge(name: &str, v: f64) {
     if enabled() {
+        // ORDERING: Relaxed — last-writer-wins advisory value.
         registry().gauge(name).store(v.to_bits(), Ordering::Relaxed);
     }
 }
@@ -318,6 +343,8 @@ macro_rules! counter {
             static CTR: ::std::sync::OnceLock<::std::sync::Arc<::std::sync::atomic::AtomicU64>> =
                 ::std::sync::OnceLock::new();
             CTR.get_or_init(|| $crate::registry().counter($name))
+                // ORDERING: Relaxed — counters are independent advisory
+                // scalars; no cross-metric consistency is promised.
                 .fetch_add($n as u64, ::std::sync::atomic::Ordering::Relaxed);
         }
     }};
@@ -326,7 +353,8 @@ macro_rules! counter {
 // ---- Trace sink -------------------------------------------------------
 
 /// Where JSONL trace events go; `None` (the default) drops them.
-static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+static SINK: OrderedMutex<Option<Box<dyn Write + Send>>> =
+    OrderedMutex::new(&classes::OBS_SINK, None);
 /// Cheap "is a sink attached" check so untraced runs skip serialisation.
 static SINK_ATTACHED: AtomicUsize = AtomicUsize::new(0);
 
@@ -339,28 +367,38 @@ pub fn set_trace_file(path: &std::path::Path) -> std::io::Result<()> {
 
 /// Routes trace events to an arbitrary writer (tests use an in-memory one).
 pub fn set_trace_writer(w: Box<dyn Write + Send>) {
-    *SINK.lock().unwrap() = Some(w);
+    *SINK.lock() = Some(w);
+    // ORDERING: Release — pairs with the Acquire loads in
+    // `sink_attached`/`trace_event` so a thread that observes 1 also
+    // observes the sink installed above (the mutex would synchronise
+    // too, but the flag is read without it).
     SINK_ATTACHED.store(1, Ordering::Release);
 }
 
 /// Detaches and flushes the current trace sink, if any.
 pub fn close_trace() {
+    // ORDERING: Release — orders the detach before the take/flush below
+    // for threads that skip the lock after loading 0 (see `trace_event`).
     SINK_ATTACHED.store(0, Ordering::Release);
-    if let Some(mut w) = SINK.lock().unwrap().take() {
+    if let Some(mut w) = SINK.lock().take() {
         let _ = w.flush();
     }
 }
 
 /// Whether a JSONL sink is currently attached (one atomic load).
 pub(crate) fn sink_attached() -> bool {
+    // ORDERING: Acquire — pairs with the Release store in
+    // `set_trace_writer`; observing 1 implies the sink is installed.
     SINK_ATTACHED.load(Ordering::Acquire) != 0
 }
 
 pub(crate) fn trace_event(event: Value) {
+    // ORDERING: Acquire — pairs with `set_trace_writer`'s Release store;
+    // a 1 here guarantees the boxed writer below is visible.
     if SINK_ATTACHED.load(Ordering::Acquire) == 0 {
         return;
     }
-    if let Some(w) = SINK.lock().unwrap().as_mut() {
+    if let Some(w) = SINK.lock().as_mut() {
         let line = serde_json::to_string(&event).unwrap_or_default();
         let _ = writeln!(w, "{line}");
     }

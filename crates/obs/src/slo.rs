@@ -13,7 +13,7 @@
 //! point), injectable via [`record_at`](SloWindow::record_at) /
 //! [`snapshot_at`](SloWindow::snapshot_at) so tests are deterministic.
 
-use std::sync::Mutex;
+use explainti_sync::{classes, OrderedMutex};
 
 use crate::histogram::Histogram;
 
@@ -28,7 +28,7 @@ struct Slot {
 /// Rolling latency/error tracker over the last `window_s` seconds.
 pub struct SloWindow {
     window_s: u64,
-    slots: Mutex<Vec<Slot>>,
+    slots: OrderedMutex<Vec<Slot>>,
 }
 
 /// One merged view of a [`SloWindow`].
@@ -59,19 +59,12 @@ impl SloWindow {
         let slots = (0..window_s)
             .map(|_| Slot { sec: 0, live: false, errors: 0, hist: Histogram::new() })
             .collect();
-        Self { window_s, slots: Mutex::new(slots) }
+        Self { window_s, slots: OrderedMutex::new(&classes::OBS_SLO_WINDOW, slots) }
     }
 
     /// The configured window length in seconds.
     pub fn window_s(&self) -> u64 {
         self.window_s
-    }
-
-    /// Poison-recovering lock: slot mutations leave the ring consistent
-    /// even if a holder panics (plain field writes), and SLO accounting
-    /// must never panic the request path.
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Slot>> {
-        self.slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Records one request outcome at the current epoch second.
@@ -81,7 +74,7 @@ impl SloWindow {
 
     /// Records one request outcome at an explicit epoch second (tests).
     pub fn record_at(&self, sec: u64, latency_ns: u64, error: bool) {
-        let mut slots = self.lock();
+        let mut slots = self.slots.lock();
         let idx = (sec % self.window_s) as usize;
         let Some(slot) = slots.get_mut(idx) else { return };
         if !slot.live || slot.sec != sec {
@@ -106,7 +99,7 @@ impl SloWindow {
         let merged = Histogram::new();
         let mut errors = 0u64;
         {
-            let slots = self.lock();
+            let slots = self.slots.lock();
             for slot in slots.iter() {
                 // A slot counts when it holds a second inside
                 // (now - window, now]; anything else is stale or future.

@@ -23,7 +23,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use explainti_sync::{classes, OrderedMutex};
 use std::time::Instant;
 
 use serde_json::{json, Value};
@@ -93,14 +95,21 @@ static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// Overrides the trace-id seed and restarts the sequence (tests; the
 /// `EXPLAINTI_TRACE_SEED` env var covers whole processes).
 pub fn set_trace_seed(seed: u64) {
+    // ORDERING: Relaxed — seed and counter are test-sequencing state;
+    // callers serialise reseeding externally, so no edge is needed.
     seed_cell().store(seed, Ordering::Relaxed);
+    // ORDERING: Relaxed — same external-serialisation contract.
     TRACE_COUNTER.store(0, Ordering::Relaxed);
 }
 
 /// Mints the next trace id: deterministic for a fixed seed, unique for
 /// the life of the process (the counter never repeats).
 pub fn next_trace_id() -> TraceId {
+    // ORDERING: Relaxed — uniqueness needs only atomicity of the
+    // increment; ids carry no payload to synchronise.
     let n = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    // ORDERING: Relaxed — see set_trace_seed; reseeds are externally
+    // serialised.
     let seed = seed_cell().load(Ordering::Relaxed);
     TraceId(splitmix64(seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15))))
 }
@@ -109,22 +118,21 @@ pub fn next_trace_id() -> TraceId {
 
 type StageSums = BTreeMap<&'static str, u64>;
 
-/// Poison-recovering lock: the map operations below are single-step, so
-/// a panicking holder leaves it consistent — and `note_span` runs inside
-/// `Drop` during unwinding, where a second panic would abort.
-fn lock_sums(sums: &Mutex<StageSums>) -> std::sync::MutexGuard<'_, StageSums> {
-    sums.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
 /// A shareable accumulator of closed-span durations, keyed by span name.
 ///
 /// Install it on a thread with [`SpanCapture::install`]; while the
 /// returned guard lives, every span closing on that thread adds its
 /// duration here. Clones share the same accumulator, which is how the
 /// thread pool extends one request's capture across kernel workers.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct SpanCapture {
-    sums: Arc<Mutex<StageSums>>,
+    sums: Arc<OrderedMutex<StageSums>>,
+}
+
+impl Default for SpanCapture {
+    fn default() -> Self {
+        Self { sums: Arc::new(OrderedMutex::new(&classes::OBS_TRACE_SUMS, StageSums::new())) }
+    }
 }
 
 impl SpanCapture {
@@ -142,12 +150,12 @@ impl SpanCapture {
 
     /// Snapshot of the accumulated `span name → total ns` map.
     pub fn sums(&self) -> StageSums {
-        lock_sums(&self.sums).clone()
+        self.sums.lock().clone()
     }
 
     /// Total nanoseconds accumulated under `name` (0 when unseen).
     pub fn get(&self, name: &str) -> u64 {
-        lock_sums(&self.sums).get(name).copied().unwrap_or(0)
+        self.sums.lock().get(name).copied().unwrap_or(0)
     }
 }
 
@@ -179,7 +187,7 @@ pub fn current_capture() -> Option<SpanCapture> {
 pub(crate) fn note_span(name: &'static str, ns: u64) {
     ACTIVE_CAPTURE.with(|c| {
         if let Some(cap) = c.borrow().as_ref() {
-            *lock_sums(&cap.sums).entry(name).or_insert(0) += ns;
+            *cap.sums.lock().entry(name).or_insert(0) += ns;
         }
     });
 }

@@ -34,7 +34,9 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, OnceLock};
+
+use explainti_sync::{classes, OrderedMutex, OrderedRwLock};
 use std::thread::JoinHandle;
 
 // ---- Threads config ---------------------------------------------------
@@ -93,10 +95,10 @@ struct Job {
     total: usize,
     /// Tasks claimed but not yet finished, plus tasks unclaimed.
     pending: AtomicUsize,
-    done: Mutex<bool>,
+    done: OrderedMutex<bool>,
     done_cv: Condvar,
     /// First captured panic payload, re-raised by the scope owner.
-    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    panic: OrderedMutex<Option<Box<dyn Any + Send + 'static>>>,
     /// Tasks executed by pool workers (vs the submitting thread) —
     /// the numerator of the effective-parallelism telemetry.
     by_workers: AtomicUsize,
@@ -108,6 +110,9 @@ struct Job {
 
 impl Job {
     fn exhausted(&self) -> bool {
+        // ORDERING: Relaxed — `next` is only a work-stealing cursor; the
+        // happens-before edge for task effects is `pending` (AcqRel)
+        // plus the `done` mutex, never this load.
         self.next.load(Ordering::Relaxed) >= self.total
     }
 
@@ -122,6 +127,9 @@ impl Job {
         let f = unsafe { &*self.task.0 };
         let mut ran = 0;
         loop {
+            // ORDERING: Relaxed — claiming an index needs atomicity only;
+            // each claimed index is touched by exactly one thread, and
+            // completion is published through `pending` below.
             let idx = self.next.fetch_add(1, Ordering::Relaxed);
             if idx >= self.total {
                 break;
@@ -135,17 +143,22 @@ impl Job {
                 }
                 f(idx)
             })) {
-                let mut slot = self.panic.lock().unwrap();
+                let mut slot = self.panic.lock();
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
             }
+            // ORDERING: AcqRel — the last decrement must observe every
+            // other task's writes (Acquire) before the scope owner reads
+            // results, and publish this task's writes (Release) to it.
             if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                *self.done.lock().unwrap() = true;
+                *self.done.lock() = true;
                 self.done_cv.notify_all();
             }
         }
         if worker && ran > 0 {
+            // ORDERING: Relaxed — telemetry counter; read only after the
+            // job drains (synchronised by `pending`/`done` above).
             self.by_workers.fetch_add(ran, Ordering::Relaxed);
         }
         ran
@@ -160,7 +173,7 @@ struct PoolState {
 }
 
 struct PoolShared {
-    state: Mutex<PoolState>,
+    state: OrderedMutex<PoolState>,
     work_cv: Condvar,
 }
 
@@ -178,7 +191,7 @@ pub struct ThreadPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.state.lock();
             loop {
                 st.jobs.retain(|j| !j.exhausted());
                 explainti_obs::set_gauge("pool.queue.depth", st.jobs.len() as f64);
@@ -188,7 +201,7 @@ fn worker_loop(shared: &PoolShared) {
                 if st.closed {
                     return;
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = st.wait(&shared.work_cv);
             }
         };
         job.run(true);
@@ -201,7 +214,10 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
-            state: Mutex::new(PoolState { jobs: VecDeque::new(), closed: false }),
+            state: OrderedMutex::new(
+                &classes::POOL_STATE,
+                PoolState { jobs: VecDeque::new(), closed: false },
+            ),
             work_cv: Condvar::new(),
         });
         let workers = (0..threads - 1)
@@ -254,14 +270,14 @@ impl ThreadPool {
             next: AtomicUsize::new(0),
             total: tasks,
             pending: AtomicUsize::new(tasks),
-            done: Mutex::new(false),
+            done: OrderedMutex::new(&classes::POOL_JOB_DONE, false),
             done_cv: Condvar::new(),
-            panic: Mutex::new(None),
+            panic: OrderedMutex::new(&classes::POOL_JOB_PANIC, None),
             by_workers: AtomicUsize::new(0),
             capture: explainti_obs::trace::current_capture(),
         });
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.state.lock();
             st.jobs.push_back(Arc::clone(&job));
             explainti_obs::set_gauge("pool.queue.depth", st.jobs.len() as f64);
         }
@@ -271,16 +287,18 @@ impl ThreadPool {
         // every worker is busy (nested scopes, shared pools).
         let inline = job.run(false);
 
-        let mut done = job.done.lock().unwrap();
+        let mut done = job.done.lock();
         while !*done {
-            done = job.done_cv.wait(done).unwrap();
+            done = done.wait(&job.done_cv);
         }
         drop(done);
 
         explainti_obs::counter!("pool.jobs", 1);
         explainti_obs::counter!("pool.tasks.inline", inline as u64);
+        // ORDERING: Relaxed — by_workers is telemetry; the job already
+        // drained (done mutex), so the value is final.
         explainti_obs::counter!("pool.tasks.worker", job.by_workers.load(Ordering::Relaxed) as u64);
-        let payload = job.panic.lock().unwrap().take();
+        let payload = job.panic.lock().take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -289,13 +307,15 @@ impl ThreadPool {
     /// Like [`scope`](Self::scope), but collects `f(i)` results in
     /// index order.
     pub fn map<R: Send, F: Fn(usize) -> R + Sync>(&self, tasks: usize, f: F) -> Vec<R> {
-        let slots: Vec<Mutex<Option<R>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<OrderedMutex<Option<R>>> =
+            (0..tasks).map(|_| OrderedMutex::new(&classes::POOL_MAP_SLOT, None)).collect();
         self.scope(tasks, |i| {
-            *slots[i].lock().unwrap() = Some(f(i));
+            let value = f(i);
+            *slots[i].lock() = Some(value);
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("scope returned, so every task completed"))
+            .map(|m| m.into_inner().expect("scope returned, so every task completed"))
             .collect()
     }
 }
@@ -303,7 +323,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.state.lock();
             st.closed = true;
         }
         self.shared.work_cv.notify_all();
@@ -315,20 +335,20 @@ impl Drop for ThreadPool {
 
 // ---- Global pool ------------------------------------------------------
 
-static GLOBAL: OnceLock<RwLock<Arc<ThreadPool>>> = OnceLock::new();
+static GLOBAL: OnceLock<OrderedRwLock<Arc<ThreadPool>>> = OnceLock::new();
 
-fn global_slot() -> &'static RwLock<Arc<ThreadPool>> {
+fn global_slot() -> &'static OrderedRwLock<Arc<ThreadPool>> {
     GLOBAL.get_or_init(|| {
         let threads = Threads::resolve(None).get();
         explainti_obs::set_gauge("pool.threads", threads as f64);
-        RwLock::new(Arc::new(ThreadPool::new(threads)))
+        OrderedRwLock::new(&classes::POOL_GLOBAL, Arc::new(ThreadPool::new(threads)))
     })
 }
 
 /// The process-wide pool every kernel uses. Initialised on first use
 /// from [`Threads::resolve`]`(None)`; replaceable via [`configure`].
 pub fn global() -> Arc<ThreadPool> {
-    Arc::clone(&global_slot().read().unwrap())
+    Arc::clone(&global_slot().read())
 }
 
 /// Replaces the global pool with one of width `threads` (≥ 1).
@@ -342,7 +362,7 @@ pub fn configure(threads: usize) {
         return;
     }
     explainti_obs::set_gauge("pool.threads", threads as f64);
-    *global_slot().write().unwrap() = Arc::new(ThreadPool::new(threads));
+    *global_slot().write() = Arc::new(ThreadPool::new(threads));
 }
 
 #[cfg(test)]

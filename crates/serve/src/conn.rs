@@ -21,7 +21,9 @@ use std::collections::{BTreeSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
+
+use explainti_sync::{classes, OrderedMutex};
 use std::time::Instant;
 
 use explainti_api::ApiError;
@@ -41,19 +43,19 @@ const READ_CHUNK: usize = 16 * 1024;
 /// dirty and writes one byte into the loop's wake pipe.
 #[derive(Clone)]
 pub struct Waker {
-    dirty: Arc<Mutex<BTreeSet<u64>>>,
+    dirty: Arc<OrderedMutex<BTreeSet<u64>>>,
     pipe: Arc<UnixStream>,
 }
 
 impl Waker {
     /// A waker writing to `pipe`, sharing the loop's dirty set.
-    pub fn new(dirty: Arc<Mutex<BTreeSet<u64>>>, pipe: Arc<UnixStream>) -> Self {
+    pub fn new(dirty: Arc<OrderedMutex<BTreeSet<u64>>>, pipe: Arc<UnixStream>) -> Self {
         Self { dirty, pipe }
     }
 
     /// Marks `conn_id` as needing event-loop attention.
     pub fn wake(&self, conn_id: u64) {
-        self.dirty.lock().unwrap_or_else(|p| p.into_inner()).insert(conn_id);
+        self.dirty.lock().insert(conn_id);
         // A full pipe already guarantees a pending wake-up; any other
         // failure means the loop is gone and the write is moot.
         let _ = (&*self.pipe).write(&[1u8]);
@@ -61,7 +63,7 @@ impl Waker {
 
     /// Drains and returns the dirty set (event-loop side).
     pub fn take_dirty(&self) -> Vec<u64> {
-        let mut set = self.dirty.lock().unwrap_or_else(|p| p.into_inner());
+        let mut set = self.dirty.lock();
         let ids: Vec<u64> = set.iter().copied().collect();
         set.clear();
         ids
@@ -85,49 +87,45 @@ struct OutState {
 
 /// The half of a connection dispatcher threads may touch.
 pub struct ConnIo {
-    out: Mutex<OutState>,
+    out: OrderedMutex<OutState>,
 }
 
 impl Default for ConnIo {
     fn default() -> Self {
         Self {
-            out: Mutex::new(OutState {
-                queue: VecDeque::new(),
-                front_written: 0,
-                response_done: false,
-                close_after: false,
-            }),
+            out: OrderedMutex::new(
+                &classes::SERVE_CONN_OUT,
+                OutState {
+                    queue: VecDeque::new(),
+                    front_written: 0,
+                    response_done: false,
+                    close_after: false,
+                },
+            ),
         }
     }
 }
 
 impl ConnIo {
-    /// Poison-recovering lock: all critical sections are plain field
-    /// updates, so a poisoned mutex is safe to re-enter (and the serve
-    /// path must not panic — EA006).
-    fn lock(&self) -> MutexGuard<'_, OutState> {
-        self.out.lock().unwrap_or_else(|p| p.into_inner())
-    }
-
     /// Appends response bytes to the outbound queue.
     pub fn enqueue(&self, bytes: Vec<u8>) {
         if bytes.is_empty() {
             return;
         }
-        self.lock().queue.push_back(bytes);
+        self.out.lock().queue.push_back(bytes);
     }
 
     /// Marks the current response complete; `close` additionally closes
     /// the connection once the bytes drain.
     pub fn finish_response(&self, close: bool) {
-        let mut st = self.lock();
+        let mut st = self.out.lock();
         st.response_done = true;
         st.close_after |= close;
     }
 
     /// Whether any bytes are waiting to be written.
     pub fn has_output(&self) -> bool {
-        !self.lock().queue.is_empty()
+        !self.out.lock().queue.is_empty()
     }
 }
 
@@ -496,7 +494,7 @@ impl Conn {
     /// Writes queued response bytes until drained or blocked. Returns
     /// whether the current response finished and whether to close.
     pub fn flush(&mut self) -> (FlushOutcome, bool, bool) {
-        let mut st = self.io.lock();
+        let mut st = self.io.out.lock();
         let outcome = loop {
             let Some(front) = st.queue.front() else { break FlushOutcome::Drained };
             let remaining = front.get(st.front_written..).unwrap_or_default();

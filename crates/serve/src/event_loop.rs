@@ -330,7 +330,13 @@ pub(crate) fn prepare(
     // the dispatcher's wake write (a pending wake-up already exists),
     // not park the dispatcher thread on a blocking socket.
     waker_tx.set_nonblocking(true)?;
-    let waker = Waker::new(Arc::new(std::sync::Mutex::new(Default::default())), Arc::new(waker_tx));
+    let waker = Waker::new(
+        Arc::new(explainti_sync::OrderedMutex::new(
+            &explainti_sync::classes::SERVE_WAKER_DIRTY,
+            Default::default(),
+        )),
+        Arc::new(waker_tx),
+    );
     let ep = sys::Epoll::new()?;
     ep.add(listener.as_raw_fd(), TOKEN_LISTENER, false)?;
     ep.add(waker_rx.as_raw_fd(), TOKEN_WAKER, false)?;
@@ -567,7 +573,7 @@ impl EventLoop {
             io: Arc::clone(&conn.io),
             waker: self.waker.clone(),
         };
-        if self.shared.dispatch.push(job).is_err() {
+        if self.shared.dispatch.try_push(job).is_err() {
             // Queue full/closed: answer inline so ordering holds, and
             // complete the response so the finished-response path keeps
             // dispatching any remaining pipelined requests.

@@ -7,10 +7,12 @@
 //! 503) instead of buffering unboundedly.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::Condvar;
 use std::time::Duration;
 
-/// Why a [`BatchQueue::push`] was refused.
+use explainti_sync::{classes, OrderedMutex};
+
+/// Why a [`BatchQueue::try_push`] was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
     /// The queue is at capacity — shed load upstream.
@@ -27,7 +29,7 @@ struct Inner<T> {
 /// A bounded multi-producer/multi-consumer queue whose consumers drain
 /// *batches* rather than single items.
 pub struct BatchQueue<T> {
-    inner: Mutex<Inner<T>>,
+    inner: OrderedMutex<Inner<T>>,
     available: Condvar,
     cap: usize,
 }
@@ -36,18 +38,13 @@ impl<T> BatchQueue<T> {
     /// A queue holding at most `cap` items (`cap >= 1`).
     pub fn new(cap: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            inner: OrderedMutex::new(
+                &classes::SERVE_QUEUE_BATCH,
+                Inner { items: VecDeque::new(), closed: false },
+            ),
             available: Condvar::new(),
             cap: cap.max(1),
         }
-    }
-
-    /// Poison-recovering lock: every critical section below leaves
-    /// `Inner` consistent even if the holder panics (plain field
-    /// reads/writes, no multi-step invariants), so a poisoned mutex is
-    /// safe to re-enter — and the request path must not panic (EA006).
-    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
-        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Capacity the queue was built with.
@@ -57,7 +54,7 @@ impl<T> BatchQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.lock().items.len()
+        self.inner.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -67,8 +64,8 @@ impl<T> BatchQueue<T> {
 
     /// Enqueues one item, waking a waiting consumer. Fails fast (no
     /// blocking) when the queue is full or closed.
-    pub fn push(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.lock();
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -87,7 +84,7 @@ impl<T> BatchQueue<T> {
     /// signal to exit.
     pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<T>> {
         let max_batch = max_batch.max(1);
-        let mut inner = self.lock();
+        let mut inner = self.inner.lock();
         loop {
             if !inner.items.is_empty() {
                 let n = inner.items.len().min(max_batch);
@@ -96,7 +93,7 @@ impl<T> BatchQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).unwrap_or_else(|poisoned| poisoned.into_inner());
+            inner = inner.wait(&self.available);
         }
     }
 
@@ -104,7 +101,7 @@ impl<T> BatchQueue<T> {
     /// an empty batch so the consumer can re-check external state.
     pub fn pop_batch_timeout(&self, max_batch: usize, timeout: Duration) -> Option<Vec<T>> {
         let max_batch = max_batch.max(1);
-        let mut inner = self.lock();
+        let mut inner = self.inner.lock();
         loop {
             if !inner.items.is_empty() {
                 let n = inner.items.len().min(max_batch);
@@ -113,12 +110,9 @@ impl<T> BatchQueue<T> {
             if inner.closed {
                 return None;
             }
-            let (guard, wait) = self
-                .available
-                .wait_timeout(inner, timeout)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let (guard, timed_out) = inner.wait_timeout(&self.available, timeout);
             inner = guard;
-            if wait.timed_out() {
+            if timed_out {
                 if !inner.items.is_empty() {
                     let n = inner.items.len().min(max_batch);
                     return Some(inner.items.drain(..n).collect());
@@ -131,7 +125,7 @@ impl<T> BatchQueue<T> {
     /// Closes the queue: pushes fail from now on, and consumers drain
     /// what remains before [`Self::pop_batch`] returns `None`.
     pub fn close(&self) {
-        self.lock().closed = true;
+        self.inner.lock().closed = true;
         self.available.notify_all();
     }
 }
@@ -146,7 +140,7 @@ mod tests {
     fn push_pop_fifo_order() {
         let q = BatchQueue::new(8);
         for i in 0..5 {
-            q.push(i).unwrap();
+            q.try_push(i).unwrap();
         }
         assert_eq!(q.pop_batch(3).unwrap(), vec![0, 1, 2]);
         assert_eq!(q.pop_batch(3).unwrap(), vec![3, 4]);
@@ -155,20 +149,20 @@ mod tests {
     #[test]
     fn full_queue_rejects_push() {
         let q = BatchQueue::new(2);
-        q.push(1).unwrap();
-        q.push(2).unwrap();
-        assert_eq!(q.push(3), Err(PushError::Full));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
         // Draining frees capacity again.
         q.pop_batch(1).unwrap();
-        q.push(3).unwrap();
+        q.try_push(3).unwrap();
     }
 
     #[test]
     fn closed_queue_rejects_push_and_drains() {
         let q = BatchQueue::new(4);
-        q.push(7).unwrap();
+        q.try_push(7).unwrap();
         q.close();
-        assert_eq!(q.push(8), Err(PushError::Closed));
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
         assert_eq!(q.pop_batch(4).unwrap(), vec![7]);
         assert!(q.pop_batch(4).is_none());
     }
@@ -181,7 +175,7 @@ mod tests {
             std::thread::spawn(move || q.pop_batch(4))
         };
         std::thread::sleep(Duration::from_millis(30));
-        q.push(42).unwrap();
+        q.try_push(42).unwrap();
         assert_eq!(consumer.join().unwrap().unwrap(), vec![42]);
     }
 
@@ -191,7 +185,7 @@ mod tests {
         // drained together, capped at max_batch.
         let q = BatchQueue::new(16);
         for i in 0..10 {
-            q.push(i).unwrap();
+            q.try_push(i).unwrap();
         }
         let batch = q.pop_batch(8).unwrap();
         assert_eq!(batch.len(), 8);
@@ -229,7 +223,7 @@ mod tests {
                     for i in 0..25 {
                         let mut v = p * 100 + i;
                         loop {
-                            match q.push(v) {
+                            match q.try_push(v) {
                                 Ok(()) => break,
                                 Err(PushError::Full) => std::thread::yield_now(),
                                 Err(PushError::Closed) => panic!("closed early"),

@@ -27,7 +27,9 @@ use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
+
+use explainti_sync::{classes, OrderedMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -205,7 +207,7 @@ pub(crate) struct Shared {
     queue: BatchQueue<Job>,
     /// Parsed requests awaiting a dispatcher (one in flight per conn).
     pub(crate) dispatch: BatchQueue<DispatchJob>,
-    cache: Mutex<LruCache<u64, Arc<PredictResponse>>>,
+    cache: OrderedMutex<LruCache<u64, Arc<PredictResponse>>>,
     pub(crate) shutdown: Arc<AtomicBool>,
     top_k: usize,
     max_batch: usize,
@@ -226,11 +228,13 @@ pub(crate) struct Shared {
     config: ConfigResponse,
 }
 
-/// Poison-recovering cache lock: `LruCache` operations leave it
-/// consistent even if a holder panics mid-call, and a handler must not
-/// panic on a poisoned mutex (EA006) — recover the guard instead.
-fn lock_cache(shared: &Shared) -> std::sync::MutexGuard<'_, LruCache<u64, Arc<PredictResponse>>> {
-    shared.cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+/// The response cache guard (the `OrderedMutex` recovers poisoned
+/// guards internally, so a handler never panics on a poisoned cache —
+/// EA006).
+fn lock_cache(
+    shared: &Shared,
+) -> explainti_sync::OrderedMutexGuard<'_, LruCache<u64, Arc<PredictResponse>>> {
+    shared.cache.lock()
 }
 
 /// Hash of the request content a cached response is keyed by. The
@@ -352,7 +356,7 @@ fn run_batch(shared: &Shared, live: Vec<Job>, drained_at: Instant) {
                 job.attempts += 1;
                 explainti_obs::counter!("serve.jobs.retried", 1);
                 let tx = job.resp_tx.clone();
-                if shared.queue.push(job).is_err() {
+                if shared.queue.try_push(job).is_err() {
                     // Queue full or closed mid-retry: fail loudly
                     // rather than letting the handler hit 504.
                     explainti_obs::counter!("serve.jobs.retry_dropped", 1);
@@ -408,7 +412,7 @@ fn submit_column(
         enqueued_at: Instant::now(),
         attempts: 0,
     };
-    match shared.queue.push(job) {
+    match shared.queue.try_push(job) {
         Ok(()) => {
             explainti_obs::set_gauge("serve.queue.depth", shared.queue.len() as f64);
             Ok(rx)
@@ -1072,7 +1076,7 @@ pub fn start(
         // One in-flight request per connection bounds the dispatch
         // queue, so size it to the connection limit.
         dispatch: BatchQueue::new(max_conns + 16),
-        cache: Mutex::new(LruCache::new(cfg.cache_cap)),
+        cache: OrderedMutex::new(&classes::SERVE_CACHE, LruCache::new(cfg.cache_cap)),
         shutdown: Arc::clone(&shutdown),
         top_k: cfg.top_k.max(1),
         max_batch: cfg.max_batch.max(1),
